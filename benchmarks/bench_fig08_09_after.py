@@ -1,0 +1,81 @@
+"""Figures 8 and 9: breakdown and decomposition *after* tuning.
+
+The performance-model-driven separator optimization (Algorithm 1) trades
+cell balance for block-count balance; the per-rank NLMNT2 maximum and the
+synchronization waits in the exchange phases drop (paper: NLMNT2 max
+99 s -> 54 s, total 200 s -> 126 s on 16 A100 ranks).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, paper_vs_measured
+from repro.balance.apply import fit_platform_model, optimized_decomposition
+from repro.hw import get_system
+from repro.runtime import ExecutionConfig, PerformanceSimulator
+from repro.runtime.breakdown import format_breakdown_table
+
+
+@pytest.fixture(scope="module")
+def optimized16(kochi_grid):
+    p = get_system("squid-gpu").platform
+    return optimized_decomposition(
+        kochi_grid, 16, p, model=fit_platform_model(p)
+    )
+
+
+def test_fig08_breakdown_after(kochi_grid, decomp16_blockwise, optimized16, benchmark):
+    system = get_system("squid-gpu")
+    sim_before = PerformanceSimulator(
+        kochi_grid, decomp16_blockwise, system, ExecutionConfig()
+    )
+    sim_after = PerformanceSimulator(
+        kochi_grid, optimized16, system, ExecutionConfig()
+    )
+    before = sim_before.simulate_step()
+    after = benchmark(sim_after.simulate_step)
+    emit(
+        "Fig. 8: per-rank breakdown after decomposition tuning [us/step]\n"
+        + format_breakdown_table(after.breakdowns)
+        + "\n\n"
+        + paper_vs_measured(
+            [
+                ("NLMNT2 max improvement", "99 s -> 54 s (1.83x)",
+                 f"{before.phase_max_us('NLMNT2'):.0f} us -> "
+                 f"{after.phase_max_us('NLMNT2'):.0f} us "
+                 f"({before.phase_max_us('NLMNT2') / after.phase_max_us('NLMNT2'):.2f}x)"),
+                ("total step improvement", "200 s -> 126 s (1.59x)",
+                 f"{before.step_us:.0f} us -> {after.step_us:.0f} us "
+                 f"({before.step_us / after.step_us:.2f}x)"),
+            ],
+            title="paper vs measured (shape: both must improve)",
+        )
+    )
+    assert after.phase_max_us("NLMNT2") < before.phase_max_us("NLMNT2")
+    assert after.step_us <= before.step_us
+
+
+def test_fig09_decomposition_after(decomp16_blockwise, optimized16, benchmark):
+    def collect():
+        return list(
+            zip(optimized16.cells_per_rank(), optimized16.blocks_per_rank())
+        )
+
+    rows = benchmark(collect)
+    emit(
+        format_table(
+            ["rank", "cells", "blocks"],
+            [[r, f"{c:,}", b] for r, (c, b) in enumerate(rows)],
+            title="Fig. 9: domain decomposition after optimization",
+        )
+    )
+    # Paper: "the number of cells is no longer balanced across ranks, but
+    # the maximum number of blocks is significantly reduced" on the worst
+    # offenders... our generated block mix yields the same trade.
+    before_blocks = decomp16_blockwise.blocks_per_rank()[6:]
+    after_blocks = [b for _c, b in rows][6:]
+    before_cells = decomp16_blockwise.cells_per_rank()[6:]
+    after_cells = [c for c, _b in rows][6:]
+    # Cell spread may grow; the model makespan shrinks (asserted in
+    # tests/test_balance.py).  Here: the block-heavy tail must not grow.
+    assert max(after_blocks) <= max(before_blocks)

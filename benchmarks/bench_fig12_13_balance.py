@@ -1,0 +1,83 @@
+"""Figures 12 and 13: the two load-balancing methods on GPU vs CPU.
+
+Fig. 12 (A100): both merging the per-block kernels (Listing 7) and the
+performance-model decomposition reduce the per-rank NLMNT2 maximum (paper:
+139 us -> 56 us and 73 us).  Fig. 13 (Xeon 8468): the padded collapse
+*degrades* CPU performance while the baseline balance was already fine.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_series, paper_vs_measured
+from repro.balance.apply import fit_platform_model, optimized_decomposition
+from repro.hw import LaunchMode, StreamSimulator, get_system
+from repro.runtime import ExecutionConfig, build_routine_kernels
+
+
+def nlmnt2_times(decomp, platform, cfg):
+    out = []
+    for rw in decomp.ranks:
+        q = 4 if platform.kind == "gpu" else 1
+        sim = StreamSimulator(platform, n_queues=q, mode=LaunchMode.ASYNC)
+        sim.submit_all(build_routine_kernels(rw, "NLMNT2", platform, cfg))
+        out.append(sim.run().makespan_us)
+    return out
+
+
+def _sweep(grid, decomp_base, platform):
+    opt = optimized_decomposition(
+        grid, 16, platform, model=fit_platform_model(platform)
+    )
+    base = nlmnt2_times(decomp_base, platform, ExecutionConfig())
+    merged = nlmnt2_times(
+        decomp_base, platform, ExecutionConfig(merged_kernels=True)
+    )
+    tuned = nlmnt2_times(opt, platform, ExecutionConfig())
+    return base, merged, tuned
+
+
+def test_fig12_gpu_methods(kochi_grid, decomp16_blockwise, benchmark):
+    p = get_system("squid-gpu").platform
+    base, merged, tuned = benchmark(
+        _sweep, kochi_grid, decomp16_blockwise, p
+    )
+    emit(
+        format_series(
+            "rank",
+            {"baseline": base, "collapsed": merged, "decomp-opt": tuned},
+            list(range(len(base))),
+            title="Fig. 12: per-rank NLMNT2 runtime on A100 [us]",
+        )
+        + "\n\n"
+        + paper_vs_measured(
+            [
+                ("max baseline [us]", 139, f"{max(base):.0f}"),
+                ("max collapsed [us]", 56, f"{max(merged):.0f}"),
+                ("max decomp-opt [us]", 73, f"{max(tuned):.0f}"),
+                ("collapsed/base", 0.40, f"{max(merged) / max(base):.2f}"),
+                ("decomp-opt/base", 0.53, f"{max(tuned) / max(base):.2f}"),
+            ]
+        )
+    )
+    assert max(merged) < max(base)
+    assert max(tuned) < max(base)
+    assert max(merged) <= max(tuned)  # paper's GPU ordering
+
+
+def test_fig13_cpu_methods(kochi_grid, decomp16_blockwise, benchmark):
+    p = get_system("pegasus-cpu").platform
+    base, merged, tuned = benchmark(
+        _sweep, kochi_grid, decomp16_blockwise, p
+    )
+    emit(
+        format_series(
+            "rank",
+            {"baseline": base, "collapsed": merged, "decomp-opt": tuned},
+            list(range(len(base))),
+            title="Fig. 13: per-rank NLMNT2 runtime on Xeon 8468 [us]",
+        )
+        + "\npaper: collapsing the outer loops degrades CPU performance; "
+        "the baseline balance is already good"
+    )
+    assert max(merged) > max(base)  # padding hurts the CPU
+    assert max(tuned) <= 1.1 * max(base)

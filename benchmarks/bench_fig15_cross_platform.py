@@ -1,0 +1,83 @@
+"""Figure 15: six-hour Kochi forecast across all systems and socket counts.
+
+The reproduction's headline result.  Shape targets from the paper:
+
+* 4 sockets: AOBA-S 640 s (misses the 10-min deadline marginally); the
+  CPU systems are about twice as slow; the GPU version cannot run (no
+  MPS/MIG to share a GPU between the >= 5 required ranks);
+* 8 sockets: Pegasus GPU < AOBA-S < SQUID GPU, all within 600 s; CPUs
+  miss the deadline;
+* 16 sockets: the CPU systems speed up super-linearly (L3 effects;
+  LIKWID miss rates 33 % -> 14 % -> 3 %);
+* 32 sockets: everything under ~3 minutes; H100 at 82 s; SPR under 2.5
+  minutes.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_series, paper_vs_measured
+from repro.hw import get_system
+from repro.par.decomposition import build_decomposition
+from repro.runtime import ExecutionConfig, simulate_run_seconds
+
+SOCKETS = [4, 8, 16, 32]
+SYSTEMS = ["aoba-s", "squid-cpu", "pegasus-cpu", "squid-gpu", "pegasus-gpu"]
+
+
+def _sweep(grid):
+    out = {}
+    for name in SYSTEMS:
+        system = get_system(name)
+        row = []
+        for sockets in SOCKETS:
+            if system.platform.kind == "gpu" and sockets < 8:
+                row.append(None)  # no MPS/MIG: cannot run
+                continue
+            n_ranks = sockets if system.platform.kind == "gpu" else max(sockets, 16)
+            d = build_decomposition(grid, n_ranks)
+            row.append(
+                simulate_run_seconds(
+                    grid, d, system, ExecutionConfig(), n_devices=sockets
+                )
+            )
+        out[name] = row
+    return out
+
+
+def test_fig15_cross_platform(kochi_grid, benchmark):
+    table = benchmark(_sweep, kochi_grid)
+    emit(
+        format_series(
+            "sockets",
+            {
+                name: [
+                    "n/a" if v is None else f"{v:.0f}" for v in table[name]
+                ]
+                for name in SYSTEMS
+            },
+            SOCKETS,
+            title="Fig. 15: six-hour Kochi forecast runtime [s]",
+        )
+        + "\n\n"
+        + paper_vs_measured(
+            [
+                ("AOBA-S @4", "640 s", f"{table['aoba-s'][0]:.0f} s"),
+                ("SQUID CPU @4", "1636 s", f"{table['squid-cpu'][0]:.0f} s"),
+                ("Pegasus CPU @4", "1476 s", f"{table['pegasus-cpu'][0]:.0f} s"),
+                ("Pegasus GPU @32", "82 s", f"{table['pegasus-gpu'][3]:.0f} s"),
+                ("SPR CPU @32", "< 150 s", f"{table['pegasus-cpu'][3]:.0f} s"),
+                ("order @8", "peg-gpu < aoba < squid-gpu < 600",
+                 f"{table['pegasus-gpu'][1]:.0f} < {table['aoba-s'][1]:.0f} "
+                 f"< {table['squid-gpu'][1]:.0f}"),
+            ]
+        )
+    )
+    a, sc, pc = table["aoba-s"], table["squid-cpu"], table["pegasus-cpu"]
+    sg, pg = table["squid-gpu"], table["pegasus-gpu"]
+    assert 600 < a[0] < 800
+    assert 1.8 < sc[0] / a[0] < 3.0 and 1.8 < pc[0] / a[0] < 3.0
+    assert pg[1] < a[1] < sg[1] < 600
+    assert sc[1] > 600 and pc[1] > 600
+    assert sc[1] / sc[2] > 2.0 and pc[1] / pc[2] > 2.0  # super-linear
+    assert all(r[3] < 182 for r in table.values())
+    assert 70 < pg[3] < 112

@@ -1,0 +1,36 @@
+"""Table I: grid organization of the Kochi model.
+
+Regenerates the published per-level block and cell counts (they must match
+exactly — the builder is constructed to) and times the grid construction.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.topo import KOCHI_TABLE1, build_kochi_grid, kochi_table
+
+
+def test_table1_grid_organization(benchmark):
+    grid = benchmark(build_kochi_grid)
+    rows = kochi_table(grid)
+    table = format_table(
+        ["level", "dx [m]", "blocks (paper)", "blocks (built)",
+         "cells (paper)", "cells (built)"],
+        [
+            [
+                r["level"],
+                r["dx_m"] if r["dx_m"] else "",
+                r["blocks_paper"],
+                r["blocks_built"],
+                f"{r['cells_paper']:,}",
+                f"{r['cells_built']:,}",
+            ]
+            for r in rows
+        ],
+        title="Table I: Grid organization of the Kochi model",
+    )
+    emit(table)
+    for idx, (dx, n_blocks, n_cells) in KOCHI_TABLE1.items():
+        lvl = grid.level(idx)
+        assert lvl.n_blocks == n_blocks
+        assert lvl.n_cells == n_cells

@@ -1,0 +1,26 @@
+"""Table II: the HPC systems used for evaluation (model registry dump)."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.hw import SYSTEMS, get_system
+
+
+def test_table2_systems(benchmark):
+    def collect():
+        return {k: get_system(k) for k in SYSTEMS}
+
+    systems = benchmark(collect)
+    headers = ["", "AOBA-S", "SQUID (GPU)", "SQUID (CPU)", "Pegasus"]
+    keys = ["aoba-s", "squid-gpu", "squid-cpu", "pegasus-gpu"]
+    rows = [
+        ["CPU"] + [systems[k].cpu_model for k in keys],
+        ["Memory"] + [systems[k].memory for k in keys],
+        ["Accelerator"] + [systems[k].accelerator for k in keys],
+        ["Interconnect"] + [systems[k].interconnect for k in keys],
+        ["Compilers"] + [systems[k].compilers for k in keys],
+        ["Modeled BW [GB/s]"]
+        + [f"{systems[k].platform.effective_bw_gbs:.0f}" for k in keys],
+    ]
+    emit(format_table(headers, rows, title="Table II: HPC systems"))
+    assert len(systems) == 5

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Bring-your-own-bathymetry: automatic nesting + distributed run.
+
+Demonstrates the adoption path a downstream user follows:
+
+1. supply bathymetry (here: a synthetic shelf with islands);
+2. let :func:`repro.topo.build_auto_nest` place CFL-safe nested levels
+   along the coastline automatically;
+3. run the forecast — once in-process, once distributed across simulated
+   MPI ranks — and confirm both agree bit for bit.
+
+Run:  python examples/custom_coastline.py
+"""
+
+import numpy as np
+
+from repro.core import RTiModel, SimulationConfig
+from repro.fault import GaussianSource
+from repro.par import run_distributed
+from repro.par.decomposition import equal_cell_assignment
+from repro.topo import AutoNestConfig, ShelfBathymetry, build_auto_nest
+
+BATHY = ShelfBathymetry(
+    ocean_depth=2500.0,
+    shelf_width=6_000.0,
+    coast_y=8_000.0,
+    coast_amplitude=600.0,
+    coast_wavelength=9_000.0,
+    land_slope=0.02,
+)
+DT = 0.5
+SOURCE = GaussianSource(x0=13_000.0, y0=18_000.0, amplitude=1.5, sigma=2_000.0)
+
+
+def main() -> None:
+    cfg = AutoNestConfig(
+        n_levels=3, dx_coarsest=270.0, dt=DT, coastal_band_m=400.0
+    )
+    grid = build_auto_nest(BATHY, 27_000.0, 27_000.0, cfg)
+    print("Auto-generated nest:")
+    print(grid.summary())
+
+    sim_cfg = SimulationConfig(dt=DT)
+    model = RTiModel(grid, BATHY, sim_cfg)
+    model.set_initial_condition(SOURCE)
+    n_steps = 240
+    model.run(n_steps)
+    print(f"\nIn-process run: {n_steps} steps, "
+          f"max eta {model.max_eta():.3f} m")
+
+    n_ranks = min(4, grid.n_blocks)
+    decomp = equal_cell_assignment(grid, n_ranks, split_blocks=False)
+    dist = run_distributed(grid, BATHY, sim_cfg, decomp, SOURCE, n_steps)
+    worst = 0.0
+    for bid, eta in dist.items():
+        ref = model.states[bid].eta_interior()
+        worst = max(worst, float(np.abs(ref - eta).max()))
+    print(f"Distributed run over {n_ranks} simulated MPI ranks: "
+          f"max |difference| = {worst:.2e} m")
+    assert worst == 0.0
+    print("PASS: distributed == in-process, bit for bit")
+
+
+if __name__ == "__main__":
+    main()

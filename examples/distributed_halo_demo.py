@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Distributed-memory demo: the pack/exchange/unpack pipeline over MPI.
+
+Demonstrates that the Listing-4 offset packing + simulated-MPI transport
+reproduces the direct in-memory halo exchange *bit for bit*: two ranks
+each own one block of a split domain, fill the ghost layers of a freshly
+computed wave field over the communicator, and the result is compared
+against :func:`repro.xchg.halo.exchange_halo` on the same data.
+
+This is the correctness contract the paper's communication migration
+relies on (Section IV-C): reorganizing how boundaries are packed and
+moved must not change a single value.
+
+Run:  python examples/distributed_halo_demo.py
+"""
+
+import numpy as np
+
+from repro.core.state import BlockState
+from repro.fault import GaussianSource
+from repro.grid.block import Block
+from repro.grid.staggered import NGHOST
+from repro.par import run_ranks
+from repro.xchg.halo import exchange_halo
+from repro.xchg.packing import pack_boundary_offsets, unpack_boundary_offsets
+
+NX, NY, DX = 48, 64, 100.0
+G = NGHOST
+BLOCKS = [Block(0, 1, 0, 0, NX, NY), Block(1, 1, NX, 0, NX, NY)]
+SOURCE = GaussianSource(x0=4800.0, y0=3200.0, amplitude=1.0, sigma=900.0)
+
+
+def make_state(block: Block) -> BlockState:
+    st = BlockState(block, DX, np.full((block.ny, block.nx), 50.0))
+    xs = (block.gi0 + np.arange(-G, block.nx + G) + 0.5) * DX
+    ys = (block.gj0 + np.arange(-G, block.ny + G) + 0.5) * DX
+    st.z_new[...] = SOURCE.eta(xs[None, :], ys[:, None])
+    return st
+
+
+def reference_exchange() -> tuple[np.ndarray, np.ndarray]:
+    """Ground truth: direct in-memory ghost copy."""
+    west, east = make_state(BLOCKS[0]), make_state(BLOCKS[1])
+    exchange_halo(west, east, "z")
+    return west.z_new.copy(), east.z_new.copy()
+
+
+def mpi_exchange() -> tuple[np.ndarray, np.ndarray]:
+    """The same exchange as pack -> MPI send/recv -> unpack."""
+
+    def rank_main(comm):
+        st = make_state(BLOCKS[comm.rank])
+        z = st.z_new
+        other = 1 - comm.rank
+        rows = slice(0, z.shape[0])  # full padded rows (the halo protocol)
+        if comm.rank == 0:  # west: send last G physical cols, recv ghosts
+            send_region = (rows, slice(G + NX - G, G + NX))
+            recv_region = (rows, slice(G + NX, G + NX + G))
+        else:  # east: send first G physical cols, recv west ghosts
+            send_region = (rows, slice(G, 2 * G))
+            recv_region = (rows, slice(0, G))
+        comm.send(pack_boundary_offsets([z], send_region), dest=other)
+        unpack_boundary_offsets(comm.recv(source=other), [z], recv_region)
+        return z
+
+    west_z, east_z = run_ranks(2, rank_main, timeout=60.0)
+    return west_z, east_z
+
+
+def main() -> None:
+    print(f"Two blocks of {NX}x{NY} cells sharing a vertical seam")
+    ref_w, ref_e = reference_exchange()
+    mpi_w, mpi_e = mpi_exchange()
+    dw = np.abs(ref_w - mpi_w).max()
+    de = np.abs(ref_e - mpi_e).max()
+    print(f"ghost values moved per side : {G} layers x {ref_w.shape[0]} rows")
+    print(f"max |direct - MPI| (west)   : {dw:.1e}")
+    print(f"max |direct - MPI| (east)   : {de:.1e}")
+    assert dw == 0.0 and de == 0.0, "pipelines disagree!"
+    print("PASS: offset packing over simulated MPI is bitwise identical "
+          "to the direct halo exchange")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Cross-platform performance sweep (the Fig.-15 experiment as a script).
+
+Replays the full-scale (47.2 M cell) Kochi forecast schedule through the
+discrete-event hardware model for every Table-II system and socket count,
+and reports whether each configuration meets the operational 10-minute
+deadline of the "10-10-10 challenge".
+
+Run:  python examples/platform_sweep.py [sockets ...]
+"""
+
+import sys
+
+from repro.analysis import format_series
+from repro.hw import SYSTEMS, get_system
+from repro.par.decomposition import build_decomposition
+from repro.runtime import ExecutionConfig, simulate_run_seconds
+from repro.topo import build_kochi_grid
+
+DEADLINE_S = 600.0
+
+
+def main(socket_counts: list[int]) -> None:
+    grid = build_kochi_grid()
+    print("Kochi model:")
+    print(grid.summary())
+    print(f"\nSix-hour forecast (108,000 steps), deadline {DEADLINE_S:.0f} s\n")
+
+    names = list(SYSTEMS)
+    table: dict[str, list[str]] = {n: [] for n in names}
+    for name in names:
+        system = get_system(name)
+        for sockets in socket_counts:
+            if system.platform.kind == "gpu" and sockets < 8:
+                table[name].append("n/a (no MPS)")
+                continue
+            n_ranks = (
+                sockets if system.platform.kind == "gpu" else max(sockets, 16)
+            )
+            decomp = build_decomposition(grid, n_ranks)
+            seconds = simulate_run_seconds(
+                grid, decomp, system, ExecutionConfig(), n_devices=sockets
+            )
+            flag = "MEETS" if seconds < DEADLINE_S else "misses"
+            table[name].append(f"{seconds:7.0f} s  {flag}")
+    print(format_series("sockets", table, socket_counts))
+    print(
+        "\npaper anchors: AOBA-S 640 s @4; SQUID CPU 1636 s @4; "
+        "Pegasus CPU 1476 s @4; Pegasus GPU 82 s @32"
+    )
+
+
+if __name__ == "__main__":
+    counts = [int(a) for a in sys.argv[1:]] or [4, 8, 16, 32]
+    main(counts)

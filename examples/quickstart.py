@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: a tsunami on the five-level mini-Kochi grid in ~30 lines.
+
+Builds the laptop-scale nested grid (same 3:1 five-level topology as the
+operational Kochi model), drops a Gaussian hump offshore, integrates the
+nonlinear shallow-water equations for two simulated minutes, and prints
+the forecast products the operational system would deliver.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import RTiModel, SimulationConfig
+from repro.fault import GaussianSource
+from repro.topo import build_mini_kochi
+
+
+def main() -> None:
+    mk = build_mini_kochi()
+    print("Grid:")
+    print(mk.grid.summary())
+
+    model = RTiModel(mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt))
+    model.set_initial_condition(
+        GaussianSource(x0=4_000.0, y0=16_000.0, amplitude=2.0, sigma=2_500.0)
+    )
+
+    n_steps = 1200  # two simulated minutes at dt = 0.1 s
+    print(f"\nIntegrating {n_steps} steps (dt = {mk.dt} s) ...")
+    model.run(n_steps)
+
+    print(f"simulated time      : {model.time:6.1f} s")
+    print(f"max water level     : {model.max_eta():6.2f} m")
+    print(f"max flow speed      : {model.max_speed():6.2f} m/s")
+
+    level5 = mk.grid.level(5)
+    area = sum(
+        model.outputs[b.block_id].inundated_area(level5.dx)
+        for b in level5.blocks
+    )
+    arrivals = [
+        model.outputs[b.block_id].arrival_time for b in level5.blocks
+    ]
+    first = min(
+        (float(np.min(a[np.isfinite(a)])) for a in arrivals if np.isfinite(a).any()),
+        default=float("inf"),
+    )
+    print(f"inundated land area : {area:8.0f} m^2 (10 m grid)")
+    print(f"first coastal arrival: {first:6.1f} s")
+
+
+if __name__ == "__main__":
+    main()

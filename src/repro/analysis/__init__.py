@@ -1,0 +1,12 @@
+"""Shared analysis helpers for the benchmark harness."""
+
+from repro.analysis.fit import linear_fit, r_squared
+from repro.analysis.report import format_table, format_series, paper_vs_measured
+
+__all__ = [
+    "linear_fit",
+    "r_squared",
+    "format_table",
+    "format_series",
+    "paper_vs_measured",
+]

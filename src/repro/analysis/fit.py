@@ -1,0 +1,43 @@
+"""Small regression helpers (kept dependency-light on purpose)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def linear_fit(x, y) -> tuple[float, float]:
+    """Least-squares ``y = a*x + b``; returns ``(a, b)``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValidationError("linear_fit needs >= 2 paired samples")
+    a, b = np.polyfit(x, y, 1)
+    return float(a), float(b)
+
+
+def r_squared(x, y, a: float, b: float) -> float:
+    """Coefficient of determination of ``y ~ a*x + b``."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    pred = a * x + b
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def convergence_order(errors, factors) -> float:
+    """Observed order of accuracy from errors at successive refinements.
+
+    ``errors[i]`` is the error at resolution ``i``; ``factors[i]`` the
+    refinement factor from level ``i`` to ``i+1``.  Returns the mean
+    log-ratio slope.
+    """
+    errors = np.asarray(errors, dtype=float)
+    if errors.size < 2 or np.any(errors <= 0):
+        raise ValidationError("need >= 2 positive errors")
+    orders = []
+    for e0, e1, f in zip(errors, errors[1:], factors):
+        orders.append(np.log(e0 / e1) / np.log(f))
+    return float(np.mean(orders))

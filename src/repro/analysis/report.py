@@ -1,0 +1,65 @@
+"""Plain-text table/series rendering shared by the benchmark harness.
+
+Every benchmark prints the same rows/series the paper's table or figure
+reports, in a fixed-width layout that diffs cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Fixed-width table."""
+    cols = len(headers)
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
+        for c in range(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: dict[str, Sequence[float]],
+    x_values: Sequence[Any],
+    title: str = "",
+) -> str:
+    """One row per x value, one column per named series (figure data)."""
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def paper_vs_measured(
+    items: Sequence[tuple[str, Any, Any]], title: str = ""
+) -> str:
+    """Three-column comparison used by EXPERIMENTS.md and the benches."""
+    return format_table(
+        ["quantity", "paper", "measured"],
+        [list(it) for it in items],
+        title=title,
+    )
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)

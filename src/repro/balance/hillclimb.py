@@ -1,0 +1,149 @@
+"""Algorithm 1: separator optimization by two-phase hill climbing.
+
+A level's decomposition is a list of "separators" cutting the block
+sequence into consecutive runs (Fig. 7).  Each iteration randomly picks a
+separator and moves it to a random position between its neighbors; the
+move is kept only if the score improves.
+
+Two score functions are combined (Section IV-D2): minimizing the *maximum*
+predicted rank time stagnates (only moves adjacent to the worst rank change
+the score), while minimizing the *variance* always responds but does not
+directly minimize the makespan.  The optimizer therefore runs a variance
+phase followed by a max phase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.balance.perfmodel import LinearPerfModel
+from repro.errors import DecompositionError
+
+
+def _rank_times(
+    block_cells: Sequence[int],
+    separators: list[int],
+    model: LinearPerfModel,
+) -> np.ndarray:
+    bounds = [0] + separators + [len(block_cells)]
+    return np.array(
+        [
+            model.rank_time_us(list(block_cells[b0:b1]))
+            for b0, b1 in zip(bounds, bounds[1:])
+        ]
+    )
+
+
+def score_variance(times: np.ndarray) -> float:
+    """Phase-1 score: variance of the predicted rank times."""
+    return float(np.var(times))
+
+
+def score_max(times: np.ndarray) -> float:
+    """Phase-2 score: the predicted makespan."""
+    return float(times.max())
+
+
+def optimize_separators(
+    block_cells: Sequence[int],
+    n_ranks: int,
+    model: LinearPerfModel,
+    iterations: int = 2000,
+    seed: int = 0,
+    two_phase: bool = True,
+    score_fn: Callable[[np.ndarray], float] | None = None,
+    restarts: int = 8,
+) -> list[int]:
+    """Optimize separator positions for one grid level (Algorithm 1).
+
+    Parameters
+    ----------
+    block_cells:
+        Cells of each block, in sequence order.
+    n_ranks:
+        Number of ranks for the level; ``n_ranks - 1`` separators.
+    model:
+        The empirical performance model (Eq. 5).
+    iterations:
+        Total hill-climbing iterations (split evenly across phases).
+    two_phase:
+        Use variance then max (the paper's combination).  With ``False``
+        and no ``score_fn``, only the max score is used — the stagnating
+        baseline the paper argues against (exercised by the ablation
+        bench).
+    score_fn:
+        Explicit score override (single phase).
+    restarts:
+        Hill climbing from a random start gets stuck in local optima;
+        the whole two-phase procedure is repeated *restarts* times from
+        independent random initializations and the best final makespan
+        kept.
+
+    Returns
+    -------
+    Sorted separator positions (block-sequence indices).
+    """
+    n_blocks = len(block_cells)
+    if not 1 <= n_ranks <= n_blocks:
+        raise DecompositionError(
+            f"cannot cut {n_blocks} blocks into {n_ranks} non-empty ranks"
+        )
+    if n_ranks == 1:
+        return []
+    if restarts < 1:
+        raise DecompositionError("restarts must be >= 1")
+
+    rng = np.random.default_rng(seed)
+    best: list[int] | None = None
+    best_makespan = np.inf
+    for _restart in range(restarts):
+        # Random initial positions (Algorithm 1, line 1): a sorted sample
+        # of distinct cut points.
+        separators = sorted(
+            int(s) + 1
+            for s in rng.choice(n_blocks - 1, size=n_ranks - 1, replace=False)
+        )
+
+        if score_fn is not None:
+            phases = [(score_fn, iterations, False)]
+        elif two_phase:
+            # The max score is flat in every separator not adjacent to the
+            # worst rank; accepting ties lets the search drift across those
+            # plateaus instead of freezing (the stagnation the paper's
+            # two-phase combination works around).
+            phases = [
+                (score_variance, iterations // 2, False),
+                (score_max, iterations - iterations // 2, True),
+            ]
+        else:
+            phases = [(score_max, iterations, True)]
+
+        for fn, iters, accept_ties in phases:
+            current = fn(_rank_times(block_cells, separators, model))
+            for _ in range(iters):
+                k = int(rng.integers(len(separators)))
+                lo = separators[k - 1] + 1 if k > 0 else 1
+                hi = (
+                    separators[k + 1] - 1
+                    if k + 1 < len(separators)
+                    else n_blocks - 1
+                )
+                if lo > hi:
+                    continue
+                old = separators[k]
+                separators[k] = int(rng.integers(lo, hi + 1))
+                candidate = fn(_rank_times(block_cells, separators, model))
+                if candidate < current or (
+                    accept_ties and candidate == current
+                ):
+                    current = candidate
+                else:
+                    separators[k] = old
+        makespan = score_max(_rank_times(block_cells, separators, model))
+        if makespan < best_makespan:
+            best_makespan = makespan
+            best = list(separators)
+    assert best is not None
+    return best

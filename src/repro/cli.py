@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``forecast``
+    Run a mini-Kochi inundation forecast with a Gaussian or Nankai-like
+    source and print the operational products (max levels, inundation,
+    arrival times, expected building damage).
+``sweep``
+    The Fig.-15 experiment: simulated six-hour Kochi runtime across the
+    Table-II systems and a list of socket counts.
+``grid``
+    Print the Table-I Kochi grid organization.
+``balance``
+    Run the Fig.-5 microbenchmark + Algorithm-1 separator optimization
+    for a platform and report the improvement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_grid(_args) -> int:
+    from repro.topo import build_kochi_grid
+
+    print(build_kochi_grid().summary())
+    return 0
+
+
+def _cmd_forecast(args) -> int:
+    from repro.core import RTiModel, SimulationConfig
+    from repro.damage import assess_damage
+    from repro.fault import GaussianSource, nankai_like_scenario
+    from repro.topo import build_mini_kochi
+
+    mk = build_mini_kochi()
+    model = RTiModel(mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt))
+    if args.source == "gaussian":
+        model.set_initial_condition(
+            GaussianSource(x0=4_000.0, y0=16_000.0,
+                           amplitude=args.amplitude, sigma=2_500.0)
+        )
+    else:
+        model.set_initial_condition(
+            nankai_like_scenario(29_160.0, 36_450.0,
+                                 magnitude_scale=args.amplitude / 2.0)
+        )
+    steps = int(args.minutes * 60 / mk.dt)
+    print(f"Integrating {steps} steps ({args.minutes} simulated minutes)...")
+    model.run(steps)
+    print(f"max water level : {model.max_eta():.2f} m")
+    print(f"max flow speed  : {model.max_speed():.2f} m/s")
+    lvl5 = mk.grid.level(5)
+    area = sum(
+        model.outputs[b.block_id].inundated_area(lvl5.dx)
+        for b in lvl5.blocks
+    )
+    print(f"inundated area  : {area:.0f} m^2 (10 m grid)")
+    report = assess_damage(model)
+    print(f"buildings exposed/damaged: {report.buildings_exposed:.0f} / "
+          f"{report.buildings_damaged:.1f} "
+          f"(ratio {report.damage_ratio:.3f})")
+    print(f"population exposed       : {report.population_exposed:.0f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis import format_series
+    from repro.hw import SYSTEMS, get_system
+    from repro.par.decomposition import build_decomposition
+    from repro.runtime import ExecutionConfig, simulate_run_seconds
+    from repro.topo import build_kochi_grid
+
+    grid = build_kochi_grid()
+    names = args.systems or list(SYSTEMS)
+    table: dict[str, list[str]] = {}
+    for name in names:
+        system = get_system(name)
+        row = []
+        for sockets in args.sockets:
+            if system.platform.kind == "gpu" and sockets < 8:
+                row.append("n/a")
+                continue
+            n_ranks = (
+                sockets if system.platform.kind == "gpu" else max(sockets, 16)
+            )
+            d = build_decomposition(grid, n_ranks)
+            s = simulate_run_seconds(
+                grid, d, system, ExecutionConfig(comm=args.comm),
+                n_devices=sockets,
+            )
+            row.append(f"{s:.0f}s")
+        table[name] = row
+    print(format_series("sockets", table, args.sockets,
+                        title="Six-hour Kochi forecast (simulated)"))
+    return 0
+
+
+def _cmd_balance(args) -> int:
+    from repro.balance.apply import fit_platform_model, optimized_decomposition
+    from repro.hw import get_system
+    from repro.par.decomposition import equal_cell_assignment
+    from repro.topo import build_kochi_grid
+
+    system = get_system(args.system)
+    grid = build_kochi_grid()
+    model = fit_platform_model(system.platform)
+    print(f"perf model: t = {model.slope_us_per_cell:.3e}*cells "
+          f"+ {model.intercept_us:.1f} us (R^2={model.r2:.3f})")
+    base = equal_cell_assignment(grid, args.ranks, split_blocks=False)
+    opt = optimized_decomposition(grid, args.ranks, system.platform,
+                                  model=model)
+
+    def makespan(d):
+        return max(
+            model.rank_time_us([it.n_cells for it in rw.items])
+            for rw in d.ranks
+        )
+
+    mb, mo = makespan(base), makespan(opt)
+    print(f"model makespan: baseline {mb:.0f} us -> optimized {mo:.0f} us "
+          f"({mb / mo:.2f}x)")
+    print(f"blocks/rank baseline : {base.blocks_per_rank()}")
+    print(f"blocks/rank optimized: {opt.blocks_per_rank()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RTi-py: real-time tsunami simulator reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("grid", help="print the Table-I Kochi grid")
+
+    p_fc = sub.add_parser("forecast", help="run a mini-Kochi forecast")
+    p_fc.add_argument("--source", choices=["gaussian", "nankai"],
+                      default="gaussian")
+    p_fc.add_argument("--amplitude", type=float, default=2.0,
+                      help="source amplitude [m] / slip scale")
+    p_fc.add_argument("--minutes", type=float, default=2.0,
+                      help="simulated minutes to integrate")
+
+    p_sw = sub.add_parser("sweep", help="cross-platform runtime sweep")
+    p_sw.add_argument("--sockets", type=int, nargs="+",
+                      default=[4, 8, 16, 32])
+    p_sw.add_argument("--systems", nargs="*", default=None)
+    p_sw.add_argument("--comm", default="gdr_tuned",
+                      choices=["host", "naive", "gdr", "gdr_tuned"])
+
+    p_bl = sub.add_parser("balance", help="run the load-balance optimizer")
+    p_bl.add_argument("--system", default="squid-gpu")
+    p_bl.add_argument("--ranks", type=int, default=16)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "grid": _cmd_grid,
+        "forecast": _cmd_forecast,
+        "sweep": _cmd_sweep,
+        "balance": _cmd_balance,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

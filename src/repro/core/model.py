@@ -1,0 +1,308 @@
+"""RTiModel — the coupled nested-grid time integrator.
+
+One :meth:`RTiModel.step` reproduces the routine pipeline of the paper's
+Figure 2:
+
+1. ``NLMASS``  — continuity update on every block of every level;
+2. ``JNZ``     — child-to-parent water-level restriction;
+3. ``PTP_Z``   — intra-level halo exchange of the water level;
+4. ``NLMNT2``  — momentum update on every block;
+5. outer boundary conditions on level 1 / ``JNQ`` parent-to-child flux
+   interpolation on finer levels;
+6. ``PTP_MN``  — intra-level halo exchange of the fluxes;
+7. output accumulation and double-buffer swap.
+
+This class is the *numerical* model (single process, laptop scale).  The
+distributed performance replay of the same pipeline lives in
+:mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.boundary import (
+    apply_open_boundary,
+    apply_wall_boundary,
+    fill_ghosts_zero_gradient,
+)
+from repro.core.config import SimulationConfig
+from repro.core.mass import nlmass
+from repro.core.momentum import nlmnt2
+from repro.core.outputs import OutputAccumulator
+from repro.core.state import BlockState
+from repro.errors import ConfigurationError
+from repro.fault.scenarios import GaussianSource, initial_eta_for_block
+from repro.grid.cfl import check_cfl_depth_field
+from repro.grid.hierarchy import NestedGrid
+from repro.grid.staggered import NGHOST
+from repro.nesting.interp import child_boundary_segments, interpolate_fluxes
+from repro.nesting.restrict import restrict_eta
+from repro.topo.bathymetry import ShelfBathymetry
+from repro.xchg.halo import exchange_halo
+
+
+class RTiModel:
+    """Coupled TUNAMI-N2 model on a validated nested grid.
+
+    Parameters
+    ----------
+    grid:
+        The nested grid hierarchy.
+    bathymetry:
+        Any object with ``sample_cells(x0, y0, nx, ny, dx) -> (ny, nx)``
+        (e.g. :class:`repro.topo.ShelfBathymetry`).
+    config:
+        Runtime knobs; ``config.dt`` is validated against the CFL bound of
+        every grid level at construction.
+    """
+
+    def __init__(
+        self,
+        grid: NestedGrid,
+        bathymetry: ShelfBathymetry,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.grid = grid
+        self.config = config or SimulationConfig()
+        self.time = 0.0
+        self.step_count = 0
+        g = NGHOST
+
+        self.states: dict[int, BlockState] = {}
+        for lvl in grid.levels:
+            for blk in lvl.blocks:
+                depth = bathymetry.sample_cells(
+                    (blk.gi0 - g) * lvl.dx,
+                    (blk.gj0 - g) * lvl.dx,
+                    blk.nx + 2 * g,
+                    blk.ny + 2 * g,
+                    lvl.dx,
+                )
+                # Only the physical cells plus one ghost layer feed the
+                # kernels (edge faces are overwritten by BC/coupling).
+                check_cfl_depth_field(
+                    lvl.dx, self.config.dt, depth[1:-1, 1:-1]
+                )
+                self.states[blk.block_id] = BlockState(
+                    blk, lvl.dx, depth, dtype=self.config.dtype
+                )
+
+        # Static topology: intra-level neighbor pairs, parent links and
+        # non-halo boundary segments (computed once; the decomposition is
+        # fixed during runtime, as the paper exploits in Listing 6).
+        self._neighbor_pairs = [
+            (a.block_id, b.block_id)
+            for lvl in grid.levels
+            for (a, b) in lvl.neighbor_pairs()
+        ]
+        self._segments: dict[int, dict[str, list[tuple[int, int]]]] = {}
+        self._parents: dict[int, list[int]] = {}
+        for lvl in grid.levels:
+            for blk in lvl.blocks:
+                self._segments[blk.block_id] = child_boundary_segments(
+                    lvl.blocks, blk
+                )
+                self._parents[blk.block_id] = [
+                    p.block_id for p in grid.parent_blocks_of(blk)
+                ]
+
+        self.outputs: dict[int, OutputAccumulator] = {}
+        self._init_outputs()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _init_outputs(self) -> None:
+        for bid, st in self.states.items():
+            self.outputs[bid] = OutputAccumulator(
+                st.block,
+                st.depth_interior(),
+                st.eta_interior().copy(),
+            )
+
+    def set_initial_condition(self, source) -> None:
+        """Impose a tsunami source on every block of every level.
+
+        *source* is a :class:`~repro.fault.GaussianSource` or a list of
+        :class:`~repro.fault.OkadaFault` segments.
+        """
+        for lvl in self.grid.levels:
+            for blk in lvl.blocks:
+                st = self.states[blk.block_id]
+                eta = initial_eta_for_block(
+                    source, blk, lvl.dx, depth=st.depth_interior()
+                )
+                st.set_initial_eta(eta)
+        self._init_outputs()
+
+    # ------------------------------------------------------------------
+    # One leap-frog step (Fig. 2 pipeline)
+    # ------------------------------------------------------------------
+
+    def _blocks_of_level(self, lvl_index: int):
+        return self.grid.level(lvl_index).blocks
+
+    def _outer_sides(self, block_id: int) -> tuple[str, ...]:
+        """Sides with at least one segment not covered by a neighbor."""
+        return tuple(
+            side for side, segs in self._segments[block_id].items() if segs
+        )
+
+    def step(self) -> None:
+        """Advance the coupled model by one time step."""
+        cfg = self.config
+        dt = cfg.dt
+
+        # (1) NLMASS on every block.
+        for st in self.states.values():
+            nlmass(
+                st.z_old,
+                st.m_old,
+                st.n_old,
+                st.hz,
+                dt,
+                st.dx,
+                out=st.z_new,
+                dry_threshold=cfg.dry_threshold,
+            )
+
+        # (2) JNZ: child -> parent restriction, finest level first so a
+        # multi-level cascade settles coarse levels last.
+        for lvl in reversed(self.grid.levels[1:]):
+            for blk in lvl.blocks:
+                child = self.states[blk.block_id]
+                for pid in self._parents[blk.block_id]:
+                    parent = self.states[pid]
+                    restrict_eta(
+                        parent.z_new,
+                        child.z_new,
+                        parent.block,
+                        child.block,
+                        mode=cfg.restriction,
+                        width=cfg.restriction_width,
+                        parent_h=parent.hz,
+                    )
+
+        # (3) PTP_Z: ghost fill then halo exchange of the water level.
+        for bid, st in self.states.items():
+            fill_ghosts_zero_gradient(st.z_new, ("W", "E", "S", "N"))
+        for aid, bid in self._neighbor_pairs:
+            exchange_halo(self.states[aid], self.states[bid], "z")
+
+        # (4) NLMNT2 on every block.
+        for st in self.states.values():
+            nlmnt2(
+                st.z_new,
+                st.m_old,
+                st.n_old,
+                st.hz,
+                dt,
+                st.dx,
+                cfg.manning,
+                out_m=st.m_new,
+                out_n=st.n_new,
+                nonlinear=cfg.nonlinear,
+                dry_threshold=cfg.dry_threshold,
+                velocity_cap=cfg.velocity_cap,
+            )
+
+        # (5) Boundary conditions: outer BC on level 1, JNQ elsewhere.
+        for blk in self._blocks_of_level(1):
+            st = self.states[blk.block_id]
+            sides = self._outer_sides(blk.block_id)
+            if not sides:
+                continue
+            if cfg.boundary == "open":
+                apply_open_boundary(st.z_new, st.m_new, st.n_new, st.hz, sides)
+            else:
+                apply_wall_boundary(st.m_new, st.n_new, sides)
+        for lvl in self.grid.levels[1:]:
+            for blk in lvl.blocks:
+                child = self.states[blk.block_id]
+                segs = self._segments[blk.block_id]
+                for pid in self._parents[blk.block_id]:
+                    parent = self.states[pid]
+                    interpolate_fluxes(
+                        parent.m_new,
+                        parent.n_new,
+                        child.m_new,
+                        child.n_new,
+                        parent.block,
+                        child.block,
+                        segs,
+                    )
+
+        # (6) PTP_MN: ghost fill then halo exchange of the fluxes.
+        for st in self.states.values():
+            fill_ghosts_zero_gradient(st.m_new, ("W", "E", "S", "N"))
+            fill_ghosts_zero_gradient(st.n_new, ("W", "E", "S", "N"))
+        for aid, bid in self._neighbor_pairs:
+            exchange_halo(self.states[aid], self.states[bid], "m")
+            exchange_halo(self.states[aid], self.states[bid], "n")
+
+        # (7) Outputs and double-buffer swap.
+        self.time += dt
+        self.step_count += 1
+        for bid, st in self.states.items():
+            self.outputs[bid].update(
+                st.z_new,
+                st.m_new,
+                st.n_new,
+                st.hz,
+                self.time,
+                dry_threshold=cfg.dry_threshold,
+            )
+            st.swap()
+
+    def run(
+        self,
+        n_steps: int | None = None,
+        callback: Callable[["RTiModel"], None] | None = None,
+        callback_every: int = 0,
+    ) -> None:
+        """Integrate *n_steps* (default: ``config.n_steps``) steps."""
+        steps = self.config.n_steps if n_steps is None else n_steps
+        if steps < 0:
+            raise ConfigurationError("n_steps must be non-negative")
+        for k in range(steps):
+            self.step()
+            if callback is not None and callback_every and (
+                (k + 1) % callback_every == 0
+            ):
+                callback(self)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def total_volume(self) -> float:
+        """Total water volume over all level-1 blocks [m^3].
+
+        Level 1 covers the whole domain; finer levels overlap it, so
+        conservation statements are made on level 1 only.
+        """
+        return sum(
+            self.states[blk.block_id].volume()
+            for blk in self._blocks_of_level(1)
+        )
+
+    def max_eta(self, level: int | None = None) -> float:
+        """Maximum current water level over wet cells [m]."""
+        out = -np.inf
+        for lvl in self.grid.levels:
+            if level is not None and lvl.index != level:
+                continue
+            for blk in lvl.blocks:
+                st = self.states[blk.block_id]
+                wet = st.total_depth() > self.config.dry_threshold
+                if wet.any():
+                    out = max(out, float(st.eta_interior()[wet].max()))
+        return out
+
+    def max_speed(self) -> float:
+        """Maximum accumulated flow speed over all blocks [m/s]."""
+        return max(float(acc.vmax.max()) for acc in self.outputs.values())

@@ -1,0 +1,211 @@
+"""NLMNT2 — the momentum update (Eqs. 2-3 of the paper).
+
+The x- and y-momentum equations are solved by the same kernel
+(:func:`momentum_core`): the y-update is the x-update applied to transposed
+array views with the roles of M and N swapped, exactly as the original
+code's XMMT/YMMT routine pair mirrors one another.
+
+Discretization (TUNAMI-N2, Goto et al. 1997):
+
+* pressure gradient: centered, ``-g * D_f * dt/dx * (z_R - z_L)`` with the
+  face total depth ``D_f`` from the moving-boundary rules below;
+* advection: first-order upwind in conservative form, with the flux
+  ``M^2/D`` and cross-flux ``M*N/D`` evaluated at faces;
+* bottom friction: Manning law, treated semi-implicitly
+  (``/(1 + dt * g n^2 |u| / D^{7/3})``), which is unconditionally stable
+  for thin layers;
+* moving boundary: a face is *open* if both adjacent cells are wet
+  (``D_f`` = mean total depth), or if exactly one is wet and its water
+  level exceeds the dry side's ground elevation (``D_f`` = overflow head);
+  otherwise the face is closed and its flux is zero.
+
+A velocity cap (default 20 m/s) is applied after the update, as in
+operational TUNAMI-class codes, to keep the shoreline scheme benign.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DRY_THRESHOLD, GRAVITY, MAX_VELOCITY
+from repro.grid.staggered import NGHOST
+
+
+def momentum_core(
+    z_new: np.ndarray,
+    mm_old: np.ndarray,
+    nn_old: np.ndarray,
+    hz: np.ndarray,
+    dt: float,
+    dx: float,
+    manning: float,
+    out: np.ndarray,
+    nonlinear: bool = True,
+    dry_threshold: float = DRY_THRESHOLD,
+    velocity_cap: float = MAX_VELOCITY,
+    gravity: float = GRAVITY,
+    nghost: int = NGHOST,
+) -> np.ndarray:
+    """Update the flux normal to "vertical" faces (the M update).
+
+    Shapes (with ``G = nghost``, block of ``ny x nx`` cells):
+    ``z_new, hz: (ny+2G, nx+2G)``; ``mm_old, out: (ny+2G, nx+1+2G)``;
+    ``nn_old: (ny+1+2G, nx+2G)``.  Pass transposed views with
+    ``mm_old = n.T`` / ``nn_old = m.T`` to obtain the N update.
+
+    Physical faces (columns ``G .. G+nx`` inclusive) are all written,
+    including block-edge faces; the caller overwrites edge faces that are
+    governed by boundary conditions or parent-grid coupling.
+
+    Returns ``out``.
+    """
+    g = nghost
+    ny = z_new.shape[0] - 2 * g
+    nx = z_new.shape[1] - 2 * g
+
+    # ------------------------------------------------------------------
+    # Wide face range: faces 1 .. nx+2g (m-array columns), i.e. every face
+    # that has both neighbor cells inside the padded array.  Width nx+3
+    # for g=2.  All face-centered intermediates live on this range over
+    # *all* rows, so the cross-term can index j-1/j+1 freely.
+    # ------------------------------------------------------------------
+    wf = slice(1, nx + 2 * g)  # m-array columns of the wide range
+    zl = z_new[:, 0 : nx + 2 * g - 1]  # cell left of each wide face
+    zr = z_new[:, 1 : nx + 2 * g]  # cell right of each wide face
+    hl = hz[:, 0 : nx + 2 * g - 1]
+    hr = hz[:, 1 : nx + 2 * g]
+
+    dl = zl + hl
+    dr = zr + hr
+    wet_l = dl > dry_threshold
+    wet_r = dr > dry_threshold
+
+    both = wet_l & wet_r
+    over_r = wet_l & ~wet_r & (zl > -hr)  # overflow toward the right
+    over_l = wet_r & ~wet_l & (zr > -hl)  # overflow toward the left
+    open_face = both | over_r | over_l
+
+    df = np.where(both, 0.5 * (dl + dr), 0.0)
+    df = np.where(over_r, zl + hr, df)
+    df = np.where(over_l, zr + hl, df)
+    df_safe = np.maximum(df, dry_threshold)
+
+    m_wide = mm_old[:, wf]
+
+    if nonlinear:
+        # Advective flux F = M^2 / D at faces (zero on closed faces).
+        flux = np.where(open_face, m_wide * m_wide / df_safe, 0.0)
+
+        # Cross flux G = M * NV / D at faces, with NV the 4-point average
+        # of the transverse flux at the M point.  nn_old rows j and j+1
+        # are the faces below/above cell row j.
+        n_l = nn_old[:, 0 : nx + 2 * g - 1]
+        n_r = nn_old[:, 1 : nx + 2 * g]
+        nv = 0.25 * (n_l[:-1, :] + n_r[:-1, :] + n_l[1:, :] + n_r[1:, :])
+        cross = np.where(open_face, m_wide * nv / df_safe, 0.0)
+
+    # ------------------------------------------------------------------
+    # Target face range: physical faces, m-array columns g .. g+nx
+    # (wide-range index g-1 .. g-1+nx+1).
+    # ------------------------------------------------------------------
+    tj = slice(g, g + ny)  # physical cell rows
+    tw = slice(g - 1, g + nx)  # target faces in wide-range coordinates
+
+    m_c = m_wide[tj, tw]
+    df_c = df[tj, tw]
+    df_safe_c = df_safe[tj, tw]
+    open_c = open_face[tj, tw]
+    dzdx = (zr[tj, tw] - zl[tj, tw]) / dx
+
+    rhs = m_c - gravity * df_c * dt * dzdx
+    if nonlinear:
+        f_c = flux[tj, tw]
+        f_m = flux[tj, slice(g - 2, g + nx - 1)]
+        f_p = flux[tj, slice(g, g + nx + 1)]
+        adv_x = np.where(m_c >= 0.0, f_c - f_m, f_p - f_c) / dx
+
+        g_c = cross[tj, tw]
+        g_jm = cross[slice(g - 1, g + ny - 1), tw]
+        g_jp = cross[slice(g + 1, g + ny + 1), tw]
+        nv_c = nv[tj, tw]
+        adv_y = np.where(nv_c >= 0.0, g_c - g_jm, g_jp - g_c) / dx
+
+        rhs -= dt * (adv_x + adv_y)
+
+        # Semi-implicit Manning friction.
+        speed_flux = np.sqrt(m_c * m_c + nv_c * nv_c)
+        fric = (
+            gravity
+            * manning
+            * manning
+            * speed_flux
+            / np.power(df_safe_c, 7.0 / 3.0)
+        )
+        rhs /= 1.0 + dt * fric
+
+    m_next = np.where(open_c, rhs, 0.0)
+
+    # Velocity cap: |M| <= cap * D.
+    limit = velocity_cap * df_safe_c
+    np.clip(m_next, -limit, limit, out=m_next)
+
+    out[...] = mm_old
+    out[tj, slice(g, g + nx + 1)] = m_next
+    return out
+
+
+def nlmnt2(
+    z_new: np.ndarray,
+    m_old: np.ndarray,
+    n_old: np.ndarray,
+    hz: np.ndarray,
+    dt: float,
+    dx: float,
+    manning: float,
+    out_m: np.ndarray,
+    out_n: np.ndarray,
+    nonlinear: bool = True,
+    dry_threshold: float = DRY_THRESHOLD,
+    velocity_cap: float = MAX_VELOCITY,
+    gravity: float = GRAVITY,
+    nghost: int = NGHOST,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full momentum step: update M (XMMT) and N (YMMT) for one block.
+
+    The N update reuses :func:`momentum_core` on transposed views — the
+    scheme is symmetric under (x <-> y, M <-> N).
+    """
+    momentum_core(
+        z_new,
+        m_old,
+        n_old,
+        hz,
+        dt,
+        dx,
+        manning,
+        out_m,
+        nonlinear=nonlinear,
+        dry_threshold=dry_threshold,
+        velocity_cap=velocity_cap,
+        gravity=gravity,
+        nghost=nghost,
+    )
+    # Transposed views: the N faces become "vertical" faces of the
+    # transposed block, with M acting as the transverse flux.
+    out_n_t = out_n.T
+    momentum_core(
+        z_new.T,
+        n_old.T,
+        m_old.T,
+        hz.T,
+        dt,
+        dx,
+        manning,
+        out_n_t,
+        nonlinear=nonlinear,
+        dry_threshold=dry_threshold,
+        velocity_cap=velocity_cap,
+        gravity=gravity,
+        nghost=nghost,
+    )
+    return out_m, out_n

@@ -1,0 +1,121 @@
+"""Output accumulators — the per-step "update output data" stage of Fig. 2.
+
+The operational forecast products are running extrema, not snapshots: the
+maximum water level, maximum flow speed, maximum inundation depth on land,
+and the tsunami arrival time.  These are accumulated in place each step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import DRY_THRESHOLD, MAX_VELOCITY
+from repro.grid.block import Block
+from repro.grid.staggered import NGHOST, interior
+
+
+class OutputAccumulator:
+    """Running forecast products for one block.
+
+    Attributes
+    ----------
+    zmax:
+        Maximum water level [m] per cell.
+    vmax:
+        Maximum flow speed [m/s] per cell.
+    inundation_max:
+        Maximum total water depth on initially-dry land [m] per cell
+        (zero on sea cells).
+    arrival_time:
+        First time [s] the water level deviates more than
+        ``arrival_threshold`` from its initial value; ``inf`` where the
+        wave never arrived.
+    """
+
+    __slots__ = (
+        "block",
+        "arrival_threshold",
+        "zmax",
+        "vmax",
+        "inundation_max",
+        "arrival_time",
+        "_z0",
+        "_land",
+    )
+
+    #: Minimum depth [m] for reporting a flow speed; operational codes do
+    #: not report velocities on films thinner than ~1 cm, where M/D is
+    #: numerically meaningless.
+    SPEED_MIN_DEPTH = 0.01
+
+    def __init__(
+        self,
+        block: Block,
+        depth_interior: np.ndarray,
+        initial_eta: np.ndarray,
+        arrival_threshold: float = 0.01,
+    ) -> None:
+        ny, nx = block.ny, block.nx
+        if depth_interior.shape != (ny, nx) or initial_eta.shape != (ny, nx):
+            raise ValueError("accumulator fields must match block physical size")
+        self.block = block
+        self.arrival_threshold = float(arrival_threshold)
+        # Max water level is only defined where water has been: dry land
+        # starts at -inf and is promoted when (if) the flood arrives.
+        self.zmax = np.where(depth_interior > 0.0, initial_eta, -np.inf)
+        self.vmax = np.zeros((ny, nx))
+        self.inundation_max = np.zeros((ny, nx))
+        self.arrival_time = np.full((ny, nx), np.inf)
+        self._z0 = initial_eta.copy()
+        self._land = depth_interior < 0.0
+
+    def update(
+        self,
+        z: np.ndarray,
+        m: np.ndarray,
+        n: np.ndarray,
+        hz: np.ndarray,
+        time: float,
+        dry_threshold: float = DRY_THRESHOLD,
+        nghost: int = NGHOST,
+    ) -> None:
+        """Fold one step's padded state arrays into the running products."""
+        ny, nx = self.block.ny, self.block.nx
+        sl = interior(ny, nx, nghost)
+        g = nghost
+        zi = z[sl]
+        hi = hz[sl]
+        d = np.maximum(zi + hi, 0.0)
+        wet = d > dry_threshold
+
+        np.maximum(self.zmax, np.where(wet, zi, self.zmax), out=self.zmax)
+
+        # Cell-centered speed from face fluxes.
+        mc = 0.5 * (m[g : g + ny, g : g + nx] + m[g : g + ny, g + 1 : g + nx + 1])
+        nc = 0.5 * (n[g : g + ny, g : g + nx] + n[g + 1 : g + ny + 1, g : g + nx])
+        # Speeds are meaningless on very thin films, and the face fluxes
+        # feeding a shoreline cell may reference a much larger face depth;
+        # report only where the water column is resolvable, clipped to the
+        # solver's own velocity cap.
+        deep_enough = d > max(dry_threshold, self.SPEED_MIN_DEPTH)
+        speed = np.where(
+            deep_enough, np.hypot(mc, nc) / np.maximum(d, self.SPEED_MIN_DEPTH), 0.0
+        )
+        np.minimum(speed, MAX_VELOCITY, out=speed)
+        np.maximum(self.vmax, speed, out=self.vmax)
+
+        np.maximum(
+            self.inundation_max,
+            np.where(self._land & wet, d, 0.0),
+            out=self.inundation_max,
+        )
+
+        arrived = (
+            np.isinf(self.arrival_time)
+            & (np.abs(zi - self._z0) > self.arrival_threshold)
+        )
+        self.arrival_time[arrived] = time
+
+    def inundated_area(self, dx: float) -> float:
+        """Area of land that got wet at any time [m^2]."""
+        return float((self.inundation_max > 0.0).sum()) * dx * dx

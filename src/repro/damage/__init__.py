@@ -1,0 +1,23 @@
+"""Tsunami damage estimation.
+
+The operational forecast the paper's system delivers is "a tsunami
+inundation *and damage* simulation in 10 minutes" (Section I).  This
+package implements the standard damage pathway used by such systems:
+fragility curves — lognormal probabilities of structural damage as a
+function of the local maximum flow depth (Koshimura et al., 2009-style) —
+applied to a gridded building inventory, yielding expected damaged
+building counts and exposed population per block.
+"""
+
+from repro.damage.fragility import FragilityCurve, STANDARD_CURVES
+from repro.damage.exposure import BuildingInventory, synthetic_inventory
+from repro.damage.assess import DamageReport, assess_damage
+
+__all__ = [
+    "FragilityCurve",
+    "STANDARD_CURVES",
+    "BuildingInventory",
+    "synthetic_inventory",
+    "DamageReport",
+    "assess_damage",
+]

@@ -1,0 +1,85 @@
+"""Lognormal tsunami fragility curves.
+
+A fragility curve gives the probability that a structure reaches a damage
+state given the local hazard intensity (here: maximum inundation depth).
+The standard functional form (Koshimura et al. 2009, derived from the
+2004 Indian Ocean and 2011 Tohoku damage surveys) is the lognormal CDF
+
+    P(damage | d) = Phi((ln d - mu) / sigma)
+
+with parameters per construction class and damage state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FragilityCurve:
+    """Lognormal fragility: ``P(damage | depth)``.
+
+    Parameters
+    ----------
+    name:
+        Construction class / damage state label.
+    median_depth_m:
+        Depth at which the damage probability is 50 %.
+    beta:
+        Lognormal standard deviation (dimensionless).
+    """
+
+    name: str
+    median_depth_m: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.median_depth_m <= 0:
+            raise ConfigurationError("median depth must be positive")
+        if self.beta <= 0:
+            raise ConfigurationError("beta must be positive")
+
+    def probability(self, depth_m) -> np.ndarray:
+        """Damage probability for depth(s) [m]; zero for dry ground."""
+        d = np.asarray(depth_m, dtype=float)
+        mu = math.log(self.median_depth_m)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = (np.log(np.where(d > 0, d, 1.0)) - mu) / self.beta
+        p = _phi(z)
+        return np.where(d > 0, p, 0.0)
+
+
+def _phi(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (SciPy-free)."""
+    return 0.5 * (1.0 + _erf(z / math.sqrt(2.0)))
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    # Vectorized erf via numpy's tanh-free Abramowitz-Stegun 7.1.26
+    # approximation (max abs error 1.5e-7, far below fragility-curve
+    # epistemic uncertainty).
+    sign = np.sign(x)
+    ax = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * ax)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-ax * ax))
+
+
+#: Published-shape fragility curves for the common coastal building stock.
+#: Medians/betas follow the Koshimura-style survey literature: wooden
+#: structures collapse around 2 m of flow depth, reinforced concrete
+#: survives several times that.
+STANDARD_CURVES: dict[str, FragilityCurve] = {
+    "wood-collapse": FragilityCurve("wood-collapse", 2.0, 0.60),
+    "wood-major": FragilityCurve("wood-major", 1.0, 0.65),
+    "masonry-collapse": FragilityCurve("masonry-collapse", 3.0, 0.55),
+    "rc-collapse": FragilityCurve("rc-collapse", 8.0, 0.50),
+}

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the RTi reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GridError(ReproError):
+    """Invalid grid geometry, nesting topology, or block layout."""
+
+
+class NestingError(GridError):
+    """Violation of the inclusive 3:1 nesting rules."""
+
+
+class CFLError(ReproError):
+    """Time step violates the Courant-Friedrichs-Lewy stability condition."""
+
+
+class DecompositionError(ReproError):
+    """Invalid domain decomposition (separators, rank/level constraints)."""
+
+
+class CommunicationError(ReproError):
+    """Simulated-MPI misuse: mismatched sends/recvs, bad buffers, deadlock."""
+
+
+class PlatformError(ReproError):
+    """Unknown platform or inconsistent hardware model parameters."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid simulation configuration."""
+
+
+class ValidationError(ReproError):
+    """A numerical validation check failed."""

@@ -1,0 +1,75 @@
+"""Courant-Friedrichs-Lewy stability condition (Eq. 4 of the paper).
+
+The leap-frog scheme is stable when ``dx / dt >= sqrt(2 g h_max)``.  The
+nested grid keeps ``dt`` constant across levels by refining ``dx`` near the
+coast where ``h`` is small (Section II-A).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import CFL_SAFETY, GRAVITY
+from repro.errors import CFLError
+
+
+def max_wave_speed(h_max: float, gravity: float = GRAVITY) -> float:
+    """Fastest signal speed ``sqrt(2 g h_max)`` used by the CFL bound.
+
+    The factor 2 (rather than the 1-D long-wave speed ``sqrt(g h)``)
+    accounts for diagonal propagation on the 2-D grid.
+    """
+    if h_max < 0:
+        raise CFLError(f"h_max must be non-negative, got {h_max}")
+    return math.sqrt(2.0 * gravity * h_max)
+
+
+def cfl_time_step(
+    dx: float,
+    h_max: float,
+    safety: float = CFL_SAFETY,
+    gravity: float = GRAVITY,
+) -> float:
+    """Largest stable time step for cell size *dx* and max depth *h_max*."""
+    if dx <= 0:
+        raise CFLError(f"dx must be positive, got {dx}")
+    if not 0 < safety <= 1:
+        raise CFLError(f"safety factor must be in (0, 1], got {safety}")
+    speed = max_wave_speed(h_max, gravity)
+    if speed == 0.0:
+        return math.inf
+    return safety * dx / speed
+
+
+def check_cfl(
+    dx: float,
+    dt: float,
+    h_max: float,
+    gravity: float = GRAVITY,
+) -> None:
+    """Raise :class:`CFLError` unless ``dx/dt >= sqrt(2 g h_max)``."""
+    if dt <= 0:
+        raise CFLError(f"dt must be positive, got {dt}")
+    speed = max_wave_speed(h_max, gravity)
+    # Relative tolerance: dt = dx/speed exactly (safety = 1) must pass
+    # despite floating-point rounding of the division.
+    if dx / dt < speed * (1.0 - 1e-12):
+        raise CFLError(
+            f"CFL violated: dx/dt = {dx / dt:.4g} m/s < sqrt(2*g*h_max) = "
+            f"{speed:.4g} m/s (dx={dx}, dt={dt}, h_max={h_max})"
+        )
+
+
+def check_cfl_depth_field(
+    dx: float, dt: float, depth: "np.ndarray", gravity: float = GRAVITY
+) -> None:
+    """CFL check against the deepest point of a still-water-depth field.
+
+    Only submerged cells (positive depth) constrain the time step; land
+    cells carry negative depth in the TUNAMI convention.
+    """
+    wet = depth[depth > 0]
+    h_max = float(wet.max()) if wet.size else 0.0
+    check_cfl(dx, dt, h_max, gravity)

@@ -1,0 +1,51 @@
+"""Discrete-event hardware execution model.
+
+The paper's performance results are functions of a small set of hardware
+mechanisms: memory bandwidth (all kernels are memory-bound), per-kernel
+launch/fixed overheads, asynchronous-queue concurrency, CPU last-level
+cache behaviour, host-device copies, and the interconnect.  This package
+models exactly those mechanisms:
+
+* :class:`PlatformSpec` / :mod:`repro.hw.registry` — per-socket/device
+  parameters for the four Table-II systems, with calibration anchors from
+  the paper's own measurements documented inline;
+* :mod:`repro.hw.kernelcost` — the roofline-style cost of one kernel
+  invocation (bytes moved vs attainable bandwidth);
+* :mod:`repro.hw.streams` — an event-driven simulator of host launches and
+  per-queue FIFO execution with bandwidth sharing (the async/multi-queue
+  mechanism of Section IV-B);
+* :mod:`repro.hw.nvml` — GPU/memory utilization computed from the
+  simulated timeline using NVML's definitions (Fig. 11);
+* :mod:`repro.hw.cache` — the L3 miss-rate model behind the super-linear
+  CPU scaling of Fig. 15.
+"""
+
+from repro.hw.platform import PlatformSpec, NodeSpec, SystemSpec
+from repro.hw.registry import (
+    PLATFORMS,
+    SYSTEMS,
+    get_platform,
+    get_system,
+)
+from repro.hw.kernelcost import KernelInvocation, kernel_solo_time_us, ROUTINE_BYTES_PER_CELL
+from repro.hw.streams import StreamSimulator, KernelEvent, LaunchMode
+from repro.hw.nvml import utilization_from_events
+from repro.hw.cache import CacheModel
+
+__all__ = [
+    "PlatformSpec",
+    "NodeSpec",
+    "SystemSpec",
+    "PLATFORMS",
+    "SYSTEMS",
+    "get_platform",
+    "get_system",
+    "KernelInvocation",
+    "kernel_solo_time_us",
+    "ROUTINE_BYTES_PER_CELL",
+    "StreamSimulator",
+    "KernelEvent",
+    "LaunchMode",
+    "utilization_from_events",
+    "CacheModel",
+]

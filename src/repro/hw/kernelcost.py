@@ -1,0 +1,98 @@
+"""Roofline-style cost of one kernel invocation.
+
+Every kernel in the time loop is memory-bound (the reason the RTi model was
+written for vector machines in the first place), so a kernel's device time
+is ``bytes_moved / attainable_bandwidth`` plus a fixed per-kernel cost.
+
+``ROUTINE_BYTES_PER_CELL`` holds the *algorithmic* traffic per cell and
+step of each routine, counted from the production single-precision code's
+array accesses (reads + writes, including the double-buffered stores).
+Calibration anchor: on the A100, the paper's NLMNT2 microbenchmark fits
+``t = 1.09e-4 us/cell + 46.2 us`` (Fig. 5).  With the A100's attainable
+kernel bandwidth (2039 GB/s nominal x 0.88 efficiency x 0.25 solo
+fraction = 449 GB/s for a lone kernel), a slope of 1.09e-4 us/cell
+corresponds to ``449e9 * 1.09e-10 = 49`` bytes/cell — matching the ~12
+single-precision array accesses of one NLMNT2 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+from repro.hw.platform import PlatformSpec
+
+#: Algorithmic memory traffic per cell per invocation [bytes], fp32.
+#: NLMNT2 here is *one* momentum sweep as in the paper's microbenchmark
+#: (the full step runs it for both M and N).
+ROUTINE_BYTES_PER_CELL: dict[str, float] = {
+    "NLMASS": 24.0,  # read z, m, n, h; write z (5-6 fp32 accesses)
+    "NLMNT2": 49.0,  # Fig. 5 calibration (see module docstring)
+    "OUTPUT": 28.0,  # read z, m, n, h; read+write 3 accumulators
+    "PACK": 8.0,  # read field, write buffer (per boundary cell)
+    "UNPACK": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel launch: a routine applied to one block (or strip).
+
+    ``solo_fraction`` overrides the platform's per-kernel bandwidth cap;
+    the merged kernel of Listing 7 passes 1.0 because the collapsed
+    iteration space is large enough to fill the device by itself.
+    ``extra_bytes`` accounts for overhead traffic that is not useful work
+    (e.g. the padded iterations the collapse introduces).
+    """
+
+    routine: str
+    cells: int
+    label: str = ""
+    solo_fraction: float | None = None
+    extra_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.routine not in ROUTINE_BYTES_PER_CELL:
+            raise PlatformError(f"unknown routine {self.routine!r}")
+        if self.cells < 0:
+            raise PlatformError("cells must be non-negative")
+        if self.solo_fraction is not None and not 0 < self.solo_fraction <= 1:
+            raise PlatformError("solo_fraction must be in (0, 1]")
+        if self.extra_bytes < 0:
+            raise PlatformError("extra_bytes must be non-negative")
+
+    @property
+    def bytes_moved(self) -> float:
+        return self.cells * ROUTINE_BYTES_PER_CELL[self.routine] + self.extra_bytes
+
+
+def kernel_solo_time_us(
+    kernel: KernelInvocation,
+    platform: PlatformSpec,
+    bw_scale: float = 1.0,
+) -> float:
+    """Device time of the kernel running alone (no host overhead).
+
+    ``bw_scale`` rescales the attainable bandwidth (used by the CPU cache
+    model, where the effective bandwidth depends on the working set).
+    """
+    bw = platform.solo_bw_gbs * bw_scale
+    return platform.kernel_fixed_us + 1e-3 * kernel.bytes_moved / bw
+
+
+def kernel_saturated_time_us(
+    kernel: KernelInvocation,
+    platform: PlatformSpec,
+    bw_scale: float = 1.0,
+) -> float:
+    """Aggregate device time contribution when the device is saturated.
+
+    This is the per-kernel share of wall time when enough concurrent
+    kernels keep the memory system busy: bytes over the *full* effective
+    bandwidth, plus the fixed cost amortized over the concurrency.
+    """
+    bw = platform.effective_bw_gbs * bw_scale
+    return (
+        platform.kernel_fixed_us / platform.max_queues
+        + 1e-3 * kernel.bytes_moved / bw
+    )

@@ -1,0 +1,45 @@
+"""NVML-style utilization metrics (Section V-B, Fig. 11).
+
+NVML defines:
+
+* **GPU utilization** — fraction of time one or more kernels were running
+  on the device;
+* **memory utilization** — fraction of time the device memory was
+  accessed (duty cycle of the memory system).
+
+:class:`repro.hw.streams.StreamResult` already accumulates both during the
+event simulation; :func:`utilization_from_events` recomputes the GPU
+utilization purely from the event list (interval union), which the test
+suite uses to cross-check the simulator's internal accounting.
+"""
+
+from __future__ import annotations
+
+from repro.hw.streams import KernelEvent, StreamResult
+
+
+def utilization_from_events(
+    events: list[KernelEvent], makespan_us: float
+) -> float:
+    """GPU utilization: |union of [start, end)| / makespan."""
+    if makespan_us <= 0 or not events:
+        return 0.0
+    intervals = sorted((e.start_us, e.end_us) for e in events)
+    covered = 0.0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            covered += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    covered += cur_hi - cur_lo
+    return covered / makespan_us
+
+
+def nvml_report(result: StreamResult) -> dict[str, float]:
+    """Both NVML metrics for one simulated batch."""
+    return {
+        "gpu_utilization": result.gpu_utilization,
+        "memory_utilization": result.memory_utilization,
+    }

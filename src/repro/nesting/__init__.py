@@ -1,0 +1,22 @@
+"""Inter-grid (parent <-> child) coupling operators.
+
+Two data movements couple adjacent nest levels each step (Fig. 2):
+
+* **JNZ** (:func:`restrict_eta`): the child's freshly-updated water level
+  is averaged 3x3 and written into the parent (child -> parent), either
+  over a strip along the child boundary (the paper's Listing-5 semantics)
+  or over the full overlap (classical two-way nesting);
+* **JNQ** (:func:`interpolate_fluxes`): the parent's freshly-updated
+  discharge fluxes are copied onto the child's boundary faces
+  (parent -> child), providing the child's boundary condition.
+"""
+
+from repro.nesting.restrict import restrict_eta, restriction_region
+from repro.nesting.interp import interpolate_fluxes, child_boundary_segments
+
+__all__ = [
+    "restrict_eta",
+    "restriction_region",
+    "interpolate_fluxes",
+    "child_boundary_segments",
+]

@@ -1,0 +1,196 @@
+"""In-process simulated MPI.
+
+Ranks are Python callables executed on one thread each; a
+:class:`Communicator` gives them mpi4py-flavoured point-to-point and
+collective operations over in-memory mailboxes.  NumPy payloads are copied
+on send (MPI value semantics) so races on the caller's buffers are
+impossible.
+
+This is a *correctness* substrate: it runs the same pack/exchange/unpack
+code paths as a distributed run so they can be tested; timing comes from
+the separate cost model in :mod:`repro.par.timing`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+#: Wildcard source, as in MPI.
+ANY_SOURCE = -1
+
+
+@dataclass
+class Request:
+    """Handle for a nonblocking operation."""
+
+    _done: threading.Event
+    _value: list = field(default_factory=lambda: [None])
+
+    def wait(self, timeout: float | None = 30.0):
+        if not self._done.wait(timeout):
+            raise CommunicationError("request timed out (deadlock?)")
+        return self._value[0]
+
+    def test(self) -> bool:
+        return self._done.is_set()
+
+
+class _World:
+    """Shared mailboxes and collective state for one group of ranks."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        # mailbox[dest] holds (source, tag, payload) tuples.
+        self.mailboxes = [queue.Queue() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.reduce_lock = threading.Lock()
+        self.reduce_buf: list[Any] = []
+        self.errors: list[BaseException] = []
+
+
+class Communicator:
+    """Per-rank view of the world (mpi4py-like lowercase API)."""
+
+    def __init__(self, world: _World, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+        # Out-of-order receives are stashed here until matched.
+        self._stash: list[tuple[int, int, Any]] = []
+
+    # -- point to point -------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking standard-mode send (buffered: never deadlocks on its own)."""
+        if not 0 <= dest < self.size:
+            raise CommunicationError(f"bad destination rank {dest}")
+        payload = obj.copy() if isinstance(obj, np.ndarray) else obj
+        self._world.mailboxes[dest].put((self.rank, tag, payload))
+
+    def recv(
+        self, source: int = ANY_SOURCE, tag: int = 0, timeout: float = 30.0
+    ) -> Any:
+        """Blocking receive matching (source, tag)."""
+        for idx, (src, tg, payload) in enumerate(self._stash):
+            if (source in (ANY_SOURCE, src)) and tg == tag:
+                self._stash.pop(idx)
+                return payload
+        while True:
+            try:
+                src, tg, payload = self._world.mailboxes[self.rank].get(
+                    timeout=timeout
+                )
+            except queue.Empty:
+                raise CommunicationError(
+                    f"rank {self.rank}: recv(source={source}, tag={tag}) "
+                    f"timed out — likely a deadlock or missing send"
+                ) from None
+            if (source in (ANY_SOURCE, src)) and tg == tag:
+                return payload
+            self._stash.append((src, tg, payload))
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (completes immediately: sends are buffered)."""
+        self.send(obj, dest, tag)
+        done = threading.Event()
+        done.set()
+        return Request(done)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
+        """Nonblocking receive; resolve with ``req.wait()``."""
+        done = threading.Event()
+        req = Request(done)
+
+        def _worker() -> None:
+            try:
+                req._value[0] = self.recv(source, tag)
+            except BaseException as exc:  # noqa: BLE001 - surfaced on wait
+                self._world.errors.append(exc)
+            finally:
+                done.set()
+
+        threading.Thread(target=_worker, daemon=True).start()
+        return req
+
+    # -- collectives ----------------------------------------------------
+
+    def barrier_sync(self, timeout: float = 30.0) -> None:
+        try:
+            self._world.barrier.wait(timeout)
+        except threading.BrokenBarrierError:
+            raise CommunicationError(
+                f"rank {self.rank}: barrier broken (a rank died or timed out)"
+            ) from None
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None):
+        """All-ranks reduction; default op is addition."""
+        if op is None:
+            op = lambda a, b: a + b  # noqa: E731
+        w = self._world
+        self.barrier_sync()
+        with w.reduce_lock:
+            w.reduce_buf.append(value)
+        self.barrier_sync()
+        acc = w.reduce_buf[0]
+        for v in w.reduce_buf[1:]:
+            acc = op(acc, v)
+        self.barrier_sync()
+        if self.rank == 0:
+            w.reduce_buf.clear()
+        self.barrier_sync()
+        return acc
+
+    def gather(self, value: Any, root: int = 0) -> list | None:
+        self.send((self.rank, value), dest=root, tag=987_654)
+        if self.rank != root:
+            return None
+        got = [self.recv(tag=987_654) for _ in range(self.size)]
+        got.sort(key=lambda rv: rv[0])
+        return [v for _r, v in got]
+
+
+def run_ranks(
+    n_ranks: int,
+    fn: Callable[[Communicator], Any],
+    timeout: float = 60.0,
+) -> list[Any]:
+    """Execute *fn(comm)* on *n_ranks* threads; return per-rank results.
+
+    Raises :class:`CommunicationError` if any rank raises or the group
+    fails to finish before *timeout* (deadlock guard).
+    """
+    if n_ranks < 1:
+        raise CommunicationError("need at least one rank")
+    world = _World(n_ranks)
+    results: list[Any] = [None] * n_ranks
+
+    def _runner(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            world.errors.append(exc)
+            world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=_runner, args=(r,), daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise CommunicationError(
+                "simulated MPI run timed out — deadlock suspected"
+            )
+    if world.errors:
+        raise world.errors[0]
+    return results

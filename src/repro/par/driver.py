@@ -1,0 +1,350 @@
+"""Distributed time-integration driver over the simulated MPI.
+
+:class:`DistributedModel` runs the same Fig.-2 pipeline as
+:class:`repro.core.RTiModel`, but with the blocks partitioned across
+simulated-MPI ranks: every inter-rank data movement goes through pack ->
+``Communicator.send/recv`` -> unpack, using the exact index math and
+buffer layouts of the single-process operators (``seam_copy_specs``,
+``pack_restriction``/``unpack_restriction``, ``pack_fluxes``/
+``unpack_fluxes``).  A distributed run is therefore bitwise identical to
+the single-process model — the correctness contract the paper's
+communication migration relies on, verified in
+``tests/test_distributed.py``.
+
+Each rank allocates only its own blocks' state (the distributed-memory
+point of the exercise); the grid and decomposition metadata are global.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.boundary import (
+    apply_open_boundary,
+    apply_wall_boundary,
+    fill_ghosts_zero_gradient,
+)
+from repro.core.config import SimulationConfig
+from repro.core.mass import nlmass
+from repro.core.momentum import nlmnt2
+from repro.core.state import BlockState
+from repro.errors import DecompositionError
+from repro.grid.hierarchy import NestedGrid
+from repro.grid.staggered import NGHOST
+from repro.nesting.interp import (
+    child_boundary_segments,
+    pack_fluxes,
+    unpack_fluxes,
+)
+from repro.nesting.restrict import (
+    pack_restriction,
+    restriction_region,
+    unpack_restriction,
+)
+from repro.par.comm import Communicator, run_ranks
+from repro.par.decomposition import Decomposition
+from repro.xchg.packing import pack_boundary_offsets, unpack_boundary_offsets
+from repro.xchg.specs import seam_copy_specs
+
+# Tag bases per phase (specs/pairs are enumerated deterministically).
+_TAG_PTP_Z = 1_000_000
+_TAG_PTP_MN = 2_000_000
+_TAG_JNZ = 3_000_000
+_TAG_JNQ = 4_000_000
+
+
+@dataclass
+class _Topology:
+    """Deterministic global communication plan (identical on all ranks)."""
+
+    owner: dict[int, int]  # block_id -> rank
+    seam_specs: list  # [(spec, tag_index)]
+    jnz_pairs: list  # [(level, child_id, parent_id, regions, tag)]
+    jnq_pairs: list  # [(child_id, parent_id, segments, tag)]
+    segments: dict[int, dict]
+    outer_sides: dict[int, tuple[str, ...]]
+
+
+def _build_topology(grid: NestedGrid, decomp: Decomposition, cfg) -> _Topology:
+    owner: dict[int, int] = {}
+    for rw in decomp.ranks:
+        for it in rw.items:
+            if not it.is_whole_block:
+                raise DecompositionError(
+                    "the distributed driver requires whole-block "
+                    "decompositions (row strips are a performance-model "
+                    "construct)"
+                )
+            owner[it.block.block_id] = rw.rank
+
+    seam_specs = []
+    tag = 0
+    for lvl in grid.levels:
+        for a, b in lvl.neighbor_pairs():
+            for spec in seam_copy_specs(a, b):
+                seam_specs.append((spec, tag))
+                tag += 1
+
+    jnz_pairs = []
+    jnq_pairs = []
+    segments: dict[int, dict] = {}
+    outer: dict[int, tuple[str, ...]] = {}
+    jtag = 0
+    qtag = 0
+    for lvl in grid.levels:
+        for blk in lvl.blocks:
+            segs = child_boundary_segments(lvl.blocks, blk)
+            segments[blk.block_id] = segs
+            outer[blk.block_id] = tuple(s for s, v in segs.items() if v)
+    for lvl in grid.levels[1:]:
+        for child in lvl.blocks:
+            for parent in grid.parent_blocks_of(child):
+                regions = restriction_region(
+                    parent, child, mode=cfg.restriction,
+                    width=cfg.restriction_width,
+                )
+                jnz_pairs.append(
+                    (lvl.index, child.block_id, parent.block_id, regions, jtag)
+                )
+                jtag += 1
+                jnq_pairs.append(
+                    (
+                        child.block_id,
+                        parent.block_id,
+                        segments[child.block_id],
+                        qtag,
+                    )
+                )
+                qtag += 1
+    return _Topology(owner, seam_specs, jnz_pairs, jnq_pairs, segments, outer)
+
+
+class _RankRuntime:
+    """Per-rank state and one-step pipeline."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grid: NestedGrid,
+        decomp: Decomposition,
+        bathymetry,
+        cfg: SimulationConfig,
+        topo: _Topology,
+    ) -> None:
+        self.comm = comm
+        self.grid = grid
+        self.cfg = cfg
+        self.topo = topo
+        g = NGHOST
+        self.states: dict[int, BlockState] = {}
+        for it in decomp.ranks[comm.rank].items:
+            blk = it.block
+            lvl = grid.level(blk.level)
+            depth = bathymetry.sample_cells(
+                (blk.gi0 - g) * lvl.dx,
+                (blk.gj0 - g) * lvl.dx,
+                blk.nx + 2 * g,
+                blk.ny + 2 * g,
+                lvl.dx,
+            )
+            self.states[blk.block_id] = BlockState(
+                blk, lvl.dx, depth, dtype=cfg.dtype
+            )
+
+    def _local(self, block_id: int) -> bool:
+        return block_id in self.states
+
+    def _field(self, state: BlockState, name: str) -> np.ndarray:
+        return {"z": state.z_new, "m": state.m_new, "n": state.n_new}[name]
+
+    # -- exchange phases -------------------------------------------------
+
+    def _ptp(self, fields: tuple[str, ...], tag_base: int) -> None:
+        """Halo exchange of the given fields over every seam.
+
+        Specs are processed strictly in the global spec order on every
+        rank: a seam's source region may include ghost rows that an
+        earlier seam just filled (extended corner ranges), so packing must
+        happen *after* all earlier applies — exactly the order the
+        single-process model uses, which is what makes the two paths
+        bitwise identical.  Sends are buffered, and all ranks walk the
+        same total order, so the in-order blocking receives cannot
+        deadlock.
+        """
+        for spec, tag in self.topo.seam_specs:
+            if spec.field not in fields:
+                continue
+            src_rank = self.topo.owner[spec.src_block]
+            dst_rank = self.topo.owner[spec.dst_block]
+            if src_rank == dst_rank == self.comm.rank:
+                src = self._field(self.states[spec.src_block], spec.field)
+                dst = self._field(self.states[spec.dst_block], spec.field)
+                dst[spec.dst] = src[spec.src]
+            elif src_rank == self.comm.rank:
+                arr = self._field(self.states[spec.src_block], spec.field)
+                self.comm.send(
+                    pack_boundary_offsets([arr], spec.src),
+                    dest=dst_rank,
+                    tag=tag_base + tag,
+                )
+            elif dst_rank == self.comm.rank:
+                buf = self.comm.recv(source=src_rank, tag=tag_base + tag)
+                dst = self._field(self.states[spec.dst_block], spec.field)
+                unpack_boundary_offsets(buf, [dst], spec.dst)
+
+    def _jnz(self) -> None:
+        """Child-to-parent restriction, finest level first."""
+        for lvl in reversed(self.grid.levels[1:]):
+            sends = [p for p in self.topo.jnz_pairs if p[0] == lvl.index]
+            for _lv, child_id, parent_id, regions, tag in sends:
+                c_rank = self.topo.owner[child_id]
+                p_rank = self.topo.owner[parent_id]
+                child = self.grid.block(child_id)
+                parent = self.grid.block(parent_id)
+                if c_rank == p_rank == self.comm.rank:
+                    buf = pack_restriction(
+                        self.states[child_id].z_new, child, regions
+                    )
+                    unpack_restriction(
+                        self.states[parent_id].z_new, parent, regions, buf,
+                        parent_h=self.states[parent_id].hz,
+                    )
+                elif c_rank == self.comm.rank:
+                    buf = pack_restriction(
+                        self.states[child_id].z_new, child, regions
+                    )
+                    self.comm.send(buf, dest=p_rank, tag=_TAG_JNZ + tag)
+            for _lv, child_id, parent_id, regions, tag in sends:
+                c_rank = self.topo.owner[child_id]
+                p_rank = self.topo.owner[parent_id]
+                if p_rank == self.comm.rank and c_rank != self.comm.rank:
+                    buf = self.comm.recv(source=c_rank, tag=_TAG_JNZ + tag)
+                    unpack_restriction(
+                        self.states[parent_id].z_new,
+                        self.grid.block(parent_id),
+                        regions,
+                        buf,
+                        parent_h=self.states[parent_id].hz,
+                    )
+
+    def _jnq(self) -> None:
+        """Parent-to-child flux interpolation, coarse level first.
+
+        The cascade matters: a level-(l+1) pack may read a level-l edge
+        face that level l's own JNQ (from level l-1) just updated, so a
+        level's receives must complete before the next level's packs.
+        """
+        for lvl in self.grid.levels[1:]:
+            pairs = [
+                p
+                for p in self.topo.jnq_pairs
+                if self.grid.block(p[0]).level == lvl.index
+            ]
+            for child_id, parent_id, segs, tag in pairs:
+                c_rank = self.topo.owner[child_id]
+                p_rank = self.topo.owner[parent_id]
+                child = self.grid.block(child_id)
+                parent = self.grid.block(parent_id)
+                if p_rank == self.comm.rank:
+                    ps = self.states[parent_id]
+                    buf = pack_fluxes(ps.m_new, ps.n_new, parent, child, segs)
+                    if c_rank == self.comm.rank:
+                        cs = self.states[child_id]
+                        unpack_fluxes(
+                            cs.m_new, cs.n_new, parent, child, segs, buf
+                        )
+                    else:
+                        self.comm.send(buf, dest=c_rank, tag=_TAG_JNQ + tag)
+            for child_id, parent_id, segs, tag in pairs:
+                c_rank = self.topo.owner[child_id]
+                p_rank = self.topo.owner[parent_id]
+                if c_rank == self.comm.rank and p_rank != self.comm.rank:
+                    buf = self.comm.recv(source=p_rank, tag=_TAG_JNQ + tag)
+                    cs = self.states[child_id]
+                    unpack_fluxes(
+                        cs.m_new,
+                        cs.n_new,
+                        self.grid.block(parent_id),
+                        self.grid.block(child_id),
+                        segs,
+                        buf,
+                    )
+
+    # -- one step ----------------------------------------------------------
+
+    def step(self) -> None:
+        cfg = self.cfg
+        for st in self.states.values():
+            nlmass(
+                st.z_old, st.m_old, st.n_old, st.hz, cfg.dt, st.dx,
+                out=st.z_new, dry_threshold=cfg.dry_threshold,
+            )
+        self._jnz()
+        for st in self.states.values():
+            fill_ghosts_zero_gradient(st.z_new, ("W", "E", "S", "N"))
+        self._ptp(("z",), _TAG_PTP_Z)
+        for st in self.states.values():
+            nlmnt2(
+                st.z_new, st.m_old, st.n_old, st.hz, cfg.dt, st.dx,
+                cfg.manning, out_m=st.m_new, out_n=st.n_new,
+                nonlinear=cfg.nonlinear, dry_threshold=cfg.dry_threshold,
+                velocity_cap=cfg.velocity_cap,
+            )
+        for bid, st in self.states.items():
+            if st.block.level != 1:
+                continue
+            sides = self.topo.outer_sides[bid]
+            if not sides:
+                continue
+            if cfg.boundary == "open":
+                apply_open_boundary(st.z_new, st.m_new, st.n_new, st.hz, sides)
+            else:
+                apply_wall_boundary(st.m_new, st.n_new, sides)
+        self._jnq()
+        for st in self.states.values():
+            fill_ghosts_zero_gradient(st.m_new, ("W", "E", "S", "N"))
+            fill_ghosts_zero_gradient(st.n_new, ("W", "E", "S", "N"))
+        self._ptp(("m", "n"), _TAG_PTP_MN)
+        for st in self.states.values():
+            st.swap()
+
+
+def run_distributed(
+    grid: NestedGrid,
+    bathymetry,
+    config: SimulationConfig,
+    decomp: Decomposition,
+    source,
+    n_steps: int,
+    timeout: float = 300.0,
+) -> dict[int, np.ndarray]:
+    """Run the pipeline on ``decomp.n_ranks`` simulated MPI ranks.
+
+    Returns the final water level (physical cells) of every block,
+    gathered from all ranks.
+    """
+    from repro.fault.scenarios import initial_eta_for_block
+
+    topo = _build_topology(grid, decomp, config)
+
+    def rank_main(comm: Communicator) -> dict[int, np.ndarray]:
+        rt = _RankRuntime(comm, grid, decomp, bathymetry, config, topo)
+        if source is not None:
+            for bid, st in rt.states.items():
+                lvl = grid.level(st.block.level)
+                st.set_initial_eta(
+                    initial_eta_for_block(
+                        source, st.block, lvl.dx, depth=st.depth_interior()
+                    )
+                )
+        for _ in range(n_steps):
+            rt.step()
+        return {bid: st.eta_interior().copy() for bid, st in rt.states.items()}
+
+    results = run_ranks(decomp.n_ranks, rank_main, timeout=timeout)
+    merged: dict[int, np.ndarray] = {}
+    for part in results:
+        merged.update(part)
+    return merged

@@ -1,0 +1,112 @@
+"""UCX-style protocol selection for device-memory messages (Section IV-D).
+
+The paper found the GDR path *slower* than host staging at 32 ranks until
+UCX's protocol selection was fixed: the default threshold for switching
+from the eager to the rendezvous protocol was suboptimal for device
+buffers, and each GPU was not pinned to the NIC on its PCIe switch.
+
+Model:
+
+* **eager** — low setup latency, but device buffers are bounced through a
+  pre-registered host buffer, so the effective bandwidth is poor;
+* **rendezvous** — an extra RTS/CTS round trip, then a zero-copy GDR
+  transfer at full NIC bandwidth;
+* **default selection** — eager for messages below a fixed byte threshold
+  (UCX's generic default, tuned for *host* memory);
+* **auto selection** (``UCX_PROTO_ENABLE``) — pick whichever path is
+  faster for this message size;
+* **NIC affinity** — without ``UCX_NET_DEVICES`` pinning, a transfer may
+  cross a PCIe switch to a remote NIC, adding latency and halving the
+  attainable bandwidth (SQUID has 8 GPUs sharing 4 NICs over 4 switches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.par.timing import MessageCostModel
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Tuning state of the communication stack for one run."""
+
+    #: Eager path effective bandwidth for device memory [GB/s].  Old UCX
+    #: bounces device buffers through small pre-registered host fragments
+    #: with a synchronizing cudaMemcpy each — a few hundred MB/s at best.
+    eager_gpu_bw_gbs: float = 0.1
+    #: Eager setup latency [us].
+    eager_latency_us: float = 5.0
+    #: Rendezvous extra handshake latency [us].
+    rndv_latency_us: float = 16.0
+    #: Default eager->rendezvous switch threshold [bytes] (tuned for host
+    #: memory, where eager at 32 KB is fine; far too large for device
+    #: buffers).  As the rank count grows, boundary messages shrink below
+    #: it and fall onto the slow eager path — the Fig.-14a regression.
+    default_rndv_threshold: int = 32 * 1024
+    #: UCX_PROTO_ENABLE: choose the faster path per message.
+    proto_auto: bool = False
+    #: GPU<->NIC affinity pinned (UCX_NET_DEVICES).
+    nic_affinity: bool = True
+    #: Penalty when affinity is wrong: extra latency [us] and bandwidth
+    #: division for crossing the inter-switch link.
+    cross_switch_latency_us: float = 4.0
+    cross_switch_bw_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.eager_gpu_bw_gbs <= 0:
+            raise ConfigurationError("eager_gpu_bw_gbs must be positive")
+        if not 0 < self.cross_switch_bw_factor <= 1:
+            raise ConfigurationError("cross_switch_bw_factor must be in (0,1]")
+
+
+def _eager_us(nbytes: int, cost: MessageCostModel, cfg: ProtocolConfig) -> float:
+    return (
+        cfg.eager_latency_us
+        + cost.nic_latency_us
+        + 1e-3 * nbytes / cfg.eager_gpu_bw_gbs
+    )
+
+
+def _rndv_us(
+    nbytes: int,
+    cost: MessageCostModel,
+    cfg: ProtocolConfig,
+    affinity_ok: bool,
+) -> float:
+    bw = cost.nic_bw_gbs
+    lat = cfg.rndv_latency_us + cost.nic_latency_us
+    if not affinity_ok:
+        bw *= cfg.cross_switch_bw_factor
+        lat += cfg.cross_switch_latency_us
+    return lat + 1e-3 * nbytes / bw
+
+
+def message_time(
+    nbytes: int,
+    cost: MessageCostModel,
+    cfg: ProtocolConfig | None = None,
+    path: str = "host",
+) -> float:
+    """Wall time [us] of one message over the chosen *path*.
+
+    ``path`` is ``"host"`` (CPU runs), ``"staged"`` (naive GPU), or
+    ``"gdr"`` (CUDA-aware MPI; protocol selection per *cfg*).
+    """
+    if path == "host":
+        return cost.host_time_us(nbytes)
+    if path == "staged":
+        return cost.staged_time_us(nbytes)
+    if path != "gdr":
+        raise ConfigurationError(f"unknown message path {path!r}")
+
+    cfg = cfg or ProtocolConfig()
+    affinity_ok = cfg.nic_affinity
+    eager = _eager_us(nbytes, cost, cfg)
+    rndv = _rndv_us(nbytes, cost, cfg, affinity_ok)
+    if cfg.proto_auto:
+        return min(eager, rndv)
+    if nbytes < cfg.default_rndv_threshold:
+        return eager
+    return rndv

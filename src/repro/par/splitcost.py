@@ -1,0 +1,128 @@
+"""1-D vs 2-D decomposition trade-off (Section II-B's design rationale).
+
+The original RTi code splits blocks across ranks one-dimensionally:
+"Although two-dimensional decomposition is preferable in terms of
+communication volume, it shortens the vectorized innermost loop.  Since
+the vector register of a VE is 16,384 bit-wide ... one-dimensional
+decomposition is chosen."  This module quantifies that trade so it can be
+evaluated per platform — the methodology extension the paper's
+future-work section calls for.
+
+Model components for a ``nx x ny`` block split over ``p`` ranks:
+
+* halo volume per rank per step: ``2 * halo * nx / px`` rows plus
+  ``2 * halo * ny / py`` columns (interior rank; 1-D is ``py = p``);
+* vector efficiency of the innermost loop of length ``L``:
+  ``L / (L + fill)``, where ``fill`` is the pipeline-fill overhead in
+  elements (large for the 256-element VE vectors, small for CPU SIMD,
+  zero for GPUs whose parallelism does not come from the inner loop).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import DecompositionError
+from repro.grid.block import Block
+
+#: Pipeline-fill overhead [elements] by platform kind: the effective
+#: startup cost a shortened innermost loop pays per loop instance.
+VECTOR_FILL_ELEMENTS = {"vector": 768.0, "cpu": 48.0, "gpu": 0.0}
+
+
+@dataclass(frozen=True)
+class SplitCost:
+    """Costs of one way of splitting a block over ranks."""
+
+    px: int
+    py: int
+    halo_cells_per_rank: float
+    inner_loop_length: float
+    vector_efficiency: float
+
+    @property
+    def compute_penalty(self) -> float:
+        """Multiplier on compute time from shortened vectors (>= 1)."""
+        return 1.0 / self.vector_efficiency
+
+
+def split_cost(
+    block: Block,
+    px: int,
+    py: int,
+    kind: str,
+    halo: int = 2,
+) -> SplitCost:
+    """Costs of a ``px x py`` Cartesian split of *block* on platform *kind*."""
+    if px < 1 or py < 1:
+        raise DecompositionError("split factors must be >= 1")
+    if px > block.nx or py > block.ny:
+        raise DecompositionError(
+            f"cannot split {block.nx}x{block.ny} into {px}x{py}"
+        )
+    if kind not in VECTOR_FILL_ELEMENTS:
+        raise DecompositionError(f"unknown platform kind {kind!r}")
+    sub_nx = block.nx / px
+    sub_ny = block.ny / py
+    halo_cells = 0.0
+    if py > 1:
+        halo_cells += 2 * halo * sub_nx  # north + south rows
+    if px > 1:
+        halo_cells += 2 * halo * sub_ny  # east + west columns
+    fill = VECTOR_FILL_ELEMENTS[kind]
+    eff = sub_nx / (sub_nx + fill)
+    return SplitCost(
+        px=px,
+        py=py,
+        halo_cells_per_rank=halo_cells,
+        inner_loop_length=sub_nx,
+        vector_efficiency=eff,
+    )
+
+
+def best_split(
+    block: Block, n_ranks: int, kind: str, halo: int = 2,
+    comm_weight: float = 1.0,
+) -> SplitCost:
+    """The factorization of *n_ranks* minimizing compute penalty + comm.
+
+    The score is ``compute_penalty + comm_weight * halo_cells / cells``;
+    *comm_weight* converts halo cells into compute-equivalent units (its
+    exact value only matters near ties).
+    """
+    best: SplitCost | None = None
+    best_score = math.inf
+    for px in range(1, n_ranks + 1):
+        if n_ranks % px:
+            continue
+        py = n_ranks // px
+        if px > block.nx or py > block.ny:
+            continue
+        c = split_cost(block, px, py, kind, halo)
+        cells_per_rank = block.n_cells / n_ranks
+        score = c.compute_penalty + comm_weight * (
+            c.halo_cells_per_rank / cells_per_rank
+        )
+        if score < best_score:
+            best_score = score
+            best = c
+    if best is None:
+        raise DecompositionError(
+            f"no factorization of {n_ranks} fits block "
+            f"{block.nx}x{block.ny}"
+        )
+    return best
+
+
+def compare_1d_2d(
+    block: Block, n_ranks: int, kind: str, halo: int = 2
+) -> dict[str, SplitCost]:
+    """The paper's comparison: row-split 1-D vs the squarest 2-D split."""
+    one_d = split_cost(block, 1, n_ranks, kind, halo)
+    # Squarest factorization.
+    px = int(math.sqrt(n_ranks))
+    while n_ranks % px:
+        px -= 1
+    two_d = split_cost(block, px, n_ranks // px, kind, halo)
+    return {"1d": one_d, "2d": two_d}

@@ -1,0 +1,57 @@
+"""Message cost model: latency + size/bandwidth with staging paths.
+
+This is the timing side of the simulated MPI.  A message's wall time
+depends on the transport path:
+
+* ``host``      — plain host-memory MPI over the NIC;
+* ``staged``    — GPU buffer staged through host memory (the "naive" GPU
+  implementation of Section IV-C: D2H copy, host MPI, H2D copy, plus the
+  host-device synchronizations each copy implies);
+* ``gdr``       — CUDA-aware MPI with GPUDirect RDMA: NIC reads/writes
+  device memory directly; protocol selection (eager vs rendezvous) applies
+  per message via :mod:`repro.par.protocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MessageCostModel:
+    """Per-link constants, all latencies in microseconds, bandwidths GB/s.
+
+    The defaults are generic InfiniBand-HDR-class values; concrete systems
+    override them from :mod:`repro.hw.registry`.
+    """
+
+    nic_latency_us: float = 2.0
+    nic_bw_gbs: float = 12.5  # HDR100 ~ 100 Gb/s
+    pcie_latency_us: float = 8.0  # includes host<->device sync cost
+    pcie_bw_gbs: float = 16.0
+    host_mpi_overhead_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("nic_bw_gbs", "pcie_bw_gbs"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    # -- path costs (microseconds for a message of `nbytes`) -------------
+
+    def host_time_us(self, nbytes: int) -> float:
+        """Plain host-to-host MPI message."""
+        return (
+            self.nic_latency_us
+            + self.host_mpi_overhead_us
+            + 1e-3 * nbytes / self.nic_bw_gbs
+        )
+
+    def pcie_copy_us(self, nbytes: int) -> float:
+        """One host<->device copy including the implied synchronization."""
+        return self.pcie_latency_us + 1e-3 * nbytes / self.pcie_bw_gbs
+
+    def staged_time_us(self, nbytes: int) -> float:
+        """Naive GPU path: D2H copy + host MPI + H2D copy."""
+        return 2.0 * self.pcie_copy_us(nbytes) + self.host_time_us(nbytes)

@@ -1,0 +1,95 @@
+"""Execution configuration and kernel-batch construction.
+
+``ExecutionConfig`` bundles the migration knobs the paper evaluates:
+
+* launch strategy — synchronous vs asynchronous, number of queues
+  (Section IV-B, Figs. 10-11);
+* merged kernels — the padded loop collapse of Listing 7 (Section IV-D1,
+  Figs. 12-13);
+* communication mode — ``naive`` (host-staged copies, serial host
+  packing), ``gdr`` (GPU packing + CUDA-aware MPI with the system's
+  default UCX settings) or ``gdr_tuned`` (UCX_PROTO_ENABLE +
+  UCX_NET_DEVICES affinity, Section IV-C and V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.kernelcost import ROUTINE_BYTES_PER_CELL, KernelInvocation
+from repro.hw.platform import PlatformSpec
+from repro.hw.streams import LaunchMode
+from repro.par.decomposition import RankWork
+
+#: Relative cost of one padded (immediately-cycled) iteration vs a real
+#: one.  On the GPU an entire thread block in the padded region exits at
+#: the CYCLE, so padding is cheap; on the CPU the padded rows are real
+#: loop iterations stealing time from the worker threads — the reason
+#: collapapsing *degrades* CPU performance (Fig. 13).
+PAD_COST_FRACTION = {"gpu": 0.08, "cpu": 0.55, "vector": 0.55}
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Migration knobs for one simulated run."""
+
+    launch: LaunchMode = LaunchMode.ASYNC
+    n_queues: int = 4
+    merged_kernels: bool = False
+    comm: str = "gdr_tuned"
+
+    def __post_init__(self) -> None:
+        if self.n_queues < 1:
+            raise ConfigurationError("n_queues must be >= 1")
+        if self.comm not in ("host", "naive", "gdr", "gdr_tuned"):
+            raise ConfigurationError(
+                f"comm must be host/naive/gdr/gdr_tuned, got {self.comm!r}"
+            )
+
+
+def build_routine_kernels(
+    work: RankWork,
+    routine: str,
+    platform: PlatformSpec,
+    cfg: ExecutionConfig,
+) -> list[KernelInvocation]:
+    """Kernel invocations one rank issues for one routine in one step.
+
+    Normal mode launches one kernel per work item (the paper's baseline:
+    "our code launches a kernel for each block").  Merged mode emits a
+    single collapsed kernel covering all items, with the padded iteration
+    space accounted as extra traffic and a solo fraction of 1.0 (the
+    collapsed grid is large enough to fill the device).
+    """
+    if not cfg.merged_kernels:
+        # Longest-processing-time-first submission: with round-robin queue
+        # assignment, launching the big blocks first avoids a lone large
+        # kernel draining after the queues empty.
+        items = sorted(work.items, key=lambda it: -it.n_cells)
+        return [
+            KernelInvocation(
+                routine,
+                it.n_cells,
+                label=f"r{work.rank}:{routine}:b{it.block.block_id}",
+            )
+            for it in items
+        ]
+    if not work.items:
+        return []
+    bpc = ROUTINE_BYTES_PER_CELL[routine]
+    pad_frac = PAD_COST_FRACTION[platform.kind]
+    max_rows = max(it.n_rows for it in work.items)
+    real_cells = sum(it.n_cells for it in work.items)
+    padded_cells = sum(
+        (max_rows - it.n_rows) * it.block.nx for it in work.items
+    )
+    return [
+        KernelInvocation(
+            routine,
+            real_cells,
+            label=f"r{work.rank}:{routine}:merged",
+            solo_fraction=1.0,
+            extra_bytes=padded_cells * bpc * pad_frac,
+        )
+    ]

@@ -1,0 +1,36 @@
+"""Synthetic topography/bathymetry and the Kochi-model grid builders.
+
+The paper evaluates on a proprietary 10 m Kochi Prefecture dataset (Table I:
+5 levels, 84 blocks, 47 211 444 cells).  We cannot redistribute that data, so
+this package provides
+
+* :class:`ShelfBathymetry` — a parametric continental-shelf depth model that
+  exercises the same code paths (deep ocean, shelf, shoreline, dry land);
+* :func:`build_kochi_grid` — a deterministic nested grid whose per-level
+  block counts and cell counts match Table I *exactly*;
+* :func:`build_mini_kochi` — a laptop-scale grid with the same 5-level,
+  3:1-nested topology for running the actual numerics.
+"""
+
+from repro.topo.bathymetry import ShelfBathymetry, GaussianIslandField
+from repro.topo.blockgen import split_cells_into_blocks, factor_near_aspect
+from repro.topo.kochi import (
+    KOCHI_TABLE1,
+    build_kochi_grid,
+    build_mini_kochi,
+    kochi_table,
+)
+from repro.topo.autonest import AutoNestConfig, build_auto_nest
+
+__all__ = [
+    "ShelfBathymetry",
+    "GaussianIslandField",
+    "split_cells_into_blocks",
+    "factor_near_aspect",
+    "KOCHI_TABLE1",
+    "build_kochi_grid",
+    "build_mini_kochi",
+    "kochi_table",
+    "AutoNestConfig",
+    "build_auto_nest",
+]

@@ -1,0 +1,215 @@
+"""Automatic nested-grid generation from bathymetry.
+
+The operational Kochi grids were hand-crafted around the coastline (the
+"polygonally nested grid system" of the RTi lineage).  This module
+automates the construction for user-supplied bathymetry: each finer level
+is placed over the shallow band around the shoreline, which is exactly
+what makes the constant-Δt nesting scheme work — the CFL bound
+``dx/dt >= sqrt(2 g h_max)`` is maintained per level by refining only
+where the water is shallow (Section II-A, Eq. 4).
+
+Pipeline per level: threshold the parent-level depths into a refinement
+mask, dilate it for a safety margin, decompose the mask into rectangles
+(greedy row-run merging), convert to 3:1-aligned child blocks, and
+validate the result as a :class:`~repro.grid.NestedGrid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import GRAVITY, REFINEMENT_RATIO
+from repro.errors import GridError
+from repro.grid.block import Block
+from repro.grid.cfl import check_cfl_depth_field
+from repro.grid.hierarchy import NestedGrid
+from repro.grid.level import GridLevel
+
+
+@dataclass(frozen=True)
+class AutoNestConfig:
+    """Knobs for the automatic nest builder.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of grid levels (>= 1).
+    dx_coarsest:
+        Cell size of level 1 [m].
+    dt:
+        Target time step [s]; every generated level is CFL-checked
+        against it.
+    coastal_band_m:
+        Refine where ``|depth| < band``; the band shrinks by
+        ``band_shrink`` per level (finer levels hug the shoreline
+        tighter).
+    band_shrink:
+        Multiplier applied to the band at each finer level.
+    margin_cells:
+        Dilation of the refinement mask in parent cells (keeps the wave
+        resolved before it enters the fine grid).
+    min_block_cells:
+        Rectangles smaller than this (in parent cells) are dropped —
+        tiny specks are not worth a block's overheads (the paper's
+        per-kernel cost).
+    """
+
+    n_levels: int = 3
+    dx_coarsest: float = 90.0
+    dt: float = 0.5
+    coastal_band_m: float = 400.0
+    band_shrink: float = 0.5
+    margin_cells: int = 2
+    min_block_cells: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n_levels < 1:
+            raise GridError("need at least one level")
+        if self.dx_coarsest <= 0 or self.dt <= 0:
+            raise GridError("dx and dt must be positive")
+        if not 0 < self.band_shrink <= 1:
+            raise GridError("band_shrink must be in (0, 1]")
+
+
+def _dilate(mask: np.ndarray, cells: int) -> np.ndarray:
+    """Binary dilation by *cells* in each direction (separable, NumPy)."""
+    out = mask.copy()
+    for _ in range(cells):
+        grown = out.copy()
+        grown[1:, :] |= out[:-1, :]
+        grown[:-1, :] |= out[1:, :]
+        grown[:, 1:] |= out[:, :-1]
+        grown[:, :-1] |= out[:, 1:]
+        out = grown
+    return out
+
+
+def mask_to_rectangles(mask: np.ndarray) -> list[tuple[int, int, int, int]]:
+    """Decompose a binary mask into disjoint rectangles ``(i0, j0, i1, j1)``.
+
+    Greedy row-run merging: each row is cut into runs of set cells, and
+    identical runs on consecutive rows are merged vertically.  Exact cover
+    of the mask; rectangle count is modest for coastal bands.
+    """
+    ny, nx = mask.shape
+    rects: list[tuple[int, int, int, int]] = []
+    open_rects: dict[tuple[int, int], int] = {}  # (i0, i1) -> j0
+    for j in range(ny + 1):
+        runs: set[tuple[int, int]] = set()
+        if j < ny:
+            row = mask[j]
+            i = 0
+            while i < nx:
+                if row[i]:
+                    i0 = i
+                    while i < nx and row[i]:
+                        i += 1
+                    runs.add((i0, i))
+                else:
+                    i += 1
+        # Close rectangles whose run disappeared or changed.
+        for key in list(open_rects):
+            if key not in runs:
+                i0, i1 = key
+                rects.append((i0, open_rects.pop(key), i1, j))
+        # Open new ones.
+        for key in runs:
+            if key not in open_rects:
+                open_rects[key] = j
+    return rects
+
+
+def build_auto_nest(
+    bathymetry,
+    domain_x: float,
+    domain_y: float,
+    config: AutoNestConfig | None = None,
+) -> NestedGrid:
+    """Generate a validated nested grid for *bathymetry*.
+
+    *bathymetry* needs ``sample_cells(x0, y0, nx, ny, dx)``.  Level 1
+    covers the whole domain; each finer level covers the coastal band
+    ``|depth| < band_l`` (dilated by the margin), decomposed into aligned
+    rectangular blocks.
+
+    Raises :class:`GridError` if any level violates the CFL bound at the
+    configured ``dt`` — the signal that the caller needs more levels, a
+    smaller dt, or a wider coarse cell.
+    """
+    cfg = config or AutoNestConfig()
+    ratio = REFINEMENT_RATIO
+    # Level-1 dims must be divisible by ratio^(levels-1) so every deeper
+    # level can align.
+    align = ratio ** max(cfg.n_levels - 1, 0)
+    nx1 = max(align, int(np.ceil(domain_x / cfg.dx_coarsest / align)) * align)
+    ny1 = max(align, int(np.ceil(domain_y / cfg.dx_coarsest / align)) * align)
+
+    levels = [
+        GridLevel(
+            index=1, dx=cfg.dx_coarsest, blocks=[Block(0, 1, 0, 0, nx1, ny1)]
+        )
+    ]
+    next_id = 1
+    band = cfg.coastal_band_m
+    for li in range(2, cfg.n_levels + 1):
+        parent = levels[-1]
+        dx_child = parent.dx / ratio
+        # Refinement mask on the parent level's cells (union of blocks).
+        pnx = max(b.gi1 for b in parent.blocks)
+        pny = max(b.gj1 for b in parent.blocks)
+        mask = np.zeros((pny, pnx), dtype=bool)
+        depths = np.full((pny, pnx), -np.inf)
+        for blk in parent.blocks:
+            depth = bathymetry.sample_cells(
+                blk.gi0 * parent.dx, blk.gj0 * parent.dx,
+                blk.nx, blk.ny, parent.dx,
+            )
+            mask[blk.gj0 : blk.gj1, blk.gi0 : blk.gi1] |= np.abs(depth) < band
+            depths[blk.gj0 : blk.gj1, blk.gi0 : blk.gi1] = depth
+        mask = _dilate(mask, cfg.margin_cells)
+        # Clip the dilation back to the parent's coverage (inclusive
+        # nesting requires child blocks over parent blocks only) and to
+        # the child level's CFL depth limit — the dilation must not drag
+        # the fine grid into water deeper than dx_child admits at dt.
+        coverage = depths > -np.inf
+        # Depth cap for the child level: 0.8x its hard CFL limit, leaving
+        # headroom for sub-parent-cell depth variation (deeper parts of
+        # the band simply stay resolved on the parent, as in the
+        # hand-crafted operational grids).
+        h_limit = 0.8 * dx_child**2 / (2.0 * GRAVITY * cfg.dt**2)
+        mask &= coverage & (depths < h_limit)
+
+        blocks: list[Block] = []
+        for (i0, j0, i1, j1) in mask_to_rectangles(mask):
+            if (i1 - i0) * (j1 - j0) < cfg.min_block_cells:
+                continue
+            blocks.append(
+                Block(
+                    block_id=next_id,
+                    level=li,
+                    gi0=ratio * i0,
+                    gj0=ratio * j0,
+                    nx=ratio * (i1 - i0),
+                    ny=ratio * (j1 - j0),
+                )
+            )
+            next_id += 1
+        if not blocks:
+            raise GridError(
+                f"level {li}: no coastal cells within |depth| < {band} m — "
+                f"widen coastal_band_m or reduce n_levels"
+            )
+        levels.append(GridLevel(index=li, dx=dx_child, blocks=blocks))
+        band *= cfg.band_shrink
+
+    grid = NestedGrid(levels=levels)
+    # CFL audit: every block of every level must be stable at dt.
+    for lvl in grid.levels:
+        for blk in lvl.blocks:
+            depth = bathymetry.sample_cells(
+                blk.gi0 * lvl.dx, blk.gj0 * lvl.dx, blk.nx, blk.ny, lvl.dx
+            )
+            check_cfl_depth_field(lvl.dx, cfg.dt, depth)
+    return grid

@@ -1,0 +1,91 @@
+"""Analytic reference solutions and single-block model builders."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import GRAVITY
+from repro.core.config import SimulationConfig
+from repro.core.model import RTiModel
+from repro.grid.block import Block
+from repro.grid.hierarchy import NestedGrid
+from repro.grid.level import GridLevel
+
+
+@dataclass(frozen=True)
+class FlatBathymetry:
+    """Constant still-water depth (negative = dry land everywhere)."""
+
+    depth: float
+
+    def sample_cells(self, x0, y0, nx, ny, dx) -> np.ndarray:
+        return np.full((ny, nx), self.depth, dtype=float)
+
+
+@dataclass(frozen=True)
+class SlopedBathymetry:
+    """Planar beach: depth decreases linearly along +y and goes dry.
+
+    ``depth(y) = offshore_depth - slope * y`` — land appears where the
+    expression goes negative.
+    """
+
+    offshore_depth: float
+    slope: float
+
+    def sample_cells(self, x0, y0, nx, ny, dx) -> np.ndarray:
+        ys = y0 + (np.arange(ny) + 0.5) * dx
+        col = self.offshore_depth - self.slope * ys
+        return np.repeat(col[:, None], nx, axis=1)
+
+
+def single_block_model(
+    nx: int,
+    ny: int,
+    dx: float,
+    bathymetry,
+    dt: float | None = None,
+    **config_kwargs,
+) -> RTiModel:
+    """One-level, one-block model — the unit-test workhorse."""
+    grid = NestedGrid(
+        [GridLevel(index=1, dx=dx, blocks=[Block(0, 1, 0, 0, nx, ny)])]
+    )
+    if dt is None:
+        depth = bathymetry.sample_cells(0.0, 0.0, nx, ny, dx)
+        h_max = float(np.maximum(depth, 0.0).max())
+        c = math.sqrt(2.0 * GRAVITY * max(h_max, 1.0))
+        dt = 0.5 * dx / c
+    cfg = SimulationConfig(dt=dt, **config_kwargs)
+    return RTiModel(grid, bathymetry, cfg)
+
+
+def standing_wave_solution(
+    amplitude: float,
+    length: float,
+    depth: float,
+    x: np.ndarray,
+    t: float,
+    mode: int = 1,
+    gravity: float = GRAVITY,
+) -> np.ndarray:
+    """Linear standing wave in a closed channel of length *length*.
+
+    ``eta(x, t) = a * cos(k x) * cos(omega t)`` with ``k = mode*pi/L`` and
+    ``omega = k * sqrt(g h)`` — an exact solution of the linear
+    shallow-water equations with wall boundaries.
+    """
+    k = mode * math.pi / length
+    omega = k * math.sqrt(gravity * depth)
+    return amplitude * np.cos(k * np.asarray(x)) * math.cos(omega * t)
+
+
+def standing_wave_period(
+    length: float, depth: float, mode: int = 1, gravity: float = GRAVITY
+) -> float:
+    """Period of the standing-wave mode."""
+    k = mode * math.pi / length
+    return 2.0 * math.pi / (k * math.sqrt(gravity * depth))

@@ -1,0 +1,124 @@
+"""Pre-computed offset tables for irregular boundary sets (Listings 5-6).
+
+The inter-grid exchange (JNZSND and friends) packs a *set* of boundary
+regions of different sizes into one buffer per receiver.  The original code
+tracks the position with a running counter (``ICNT_WK``) — a loop-carried
+dependence.  Because "the grid organization and domain decomposition are
+fixed during runtime" (Section IV-C2), the paper pre-computes a table of
+per-boundary offsets (``JNZ_BUFS_OFS``) once, after which all boundaries
+can be packed in parallel.
+
+:class:`OffsetTable` is that table.  :func:`pack_irregular_naive` and
+:func:`pack_irregular_offsets` are the before/after implementations of the
+3x3-averaging pack of Listing 5/6; they produce identical buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+#: One boundary region to pack: ``(j0, j1, i0, i1)`` array index ranges of
+#: the *child* cells (row-major, end-exclusive).  For JNZ packs, the
+#: region spans whole 3x3 tiles and one output element is emitted per tile.
+IrregularRegion = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class OffsetTable:
+    """Buffer offsets of each boundary region, plus the total length."""
+
+    offsets: tuple[int, ...]
+    counts: tuple[int, ...]
+    total: int
+
+    def offset_of(self, index: int) -> int:
+        return self.offsets[index]
+
+
+def _tile_counts(regions: list[IrregularRegion], ratio: int) -> list[int]:
+    counts = []
+    for j0, j1, i0, i1 in regions:
+        if (j1 - j0) % ratio or (i1 - i0) % ratio:
+            raise CommunicationError(
+                f"region ({j0},{j1},{i0},{i1}) is not a whole number of "
+                f"{ratio}x{ratio} tiles"
+            )
+        counts.append(((j1 - j0) // ratio) * ((i1 - i0) // ratio))
+    return counts
+
+
+def build_offset_table(
+    regions: list[IrregularRegion], ratio: int = 3
+) -> OffsetTable:
+    """Prefix-sum offsets over the per-region averaged-element counts."""
+    counts = _tile_counts(regions, ratio)
+    offsets = []
+    acc = 0
+    for c in counts:
+        offsets.append(acc)
+        acc += c
+    return OffsetTable(tuple(offsets), tuple(counts), acc)
+
+
+def pack_irregular_naive(
+    field: np.ndarray, regions: list[IrregularRegion], ratio: int = 3
+) -> np.ndarray:
+    """Listing-5 pack: running counter, scalar 3x3 averages, sequential."""
+    counts = _tile_counts(regions, ratio)
+    buf = np.empty(sum(counts), dtype=field.dtype)
+    icnt = 0
+    for j0, j1, i0, i1 in regions:
+        for jt in range(j0, j1, ratio):
+            for it in range(i0, i1, ratio):
+                s = 0.0
+                for j in range(jt, jt + ratio):
+                    for i in range(it, it + ratio):
+                        s += field[j, i]
+                buf[icnt] = s / (ratio * ratio)
+                icnt += 1
+    return buf
+
+
+def pack_irregular_offsets(
+    field: np.ndarray,
+    regions: list[IrregularRegion],
+    table: OffsetTable | None = None,
+    ratio: int = 3,
+) -> np.ndarray:
+    """Listing-6 pack: every region written independently at its offset."""
+    if table is None:
+        table = build_offset_table(regions, ratio)
+    buf = np.empty(table.total, dtype=field.dtype)
+    for idx, (j0, j1, i0, i1) in enumerate(regions):
+        nj, ni = (j1 - j0) // ratio, (i1 - i0) // ratio
+        sub = field[j0:j1, i0:i1].reshape(nj, ratio, ni, ratio)
+        buf[table.offsets[idx] : table.offsets[idx] + table.counts[idx]] = (
+            sub.mean(axis=(1, 3)).ravel()
+        )
+    return buf
+
+
+def unpack_irregular_offsets(
+    buf: np.ndarray,
+    field: np.ndarray,
+    regions: list[IrregularRegion],
+    table: OffsetTable | None = None,
+    ratio: int = 1,
+) -> None:
+    """Scatter a packed buffer back into *field* (receiver-side JNZ_RCVWAIT).
+
+    With ``ratio=1`` each buffer element maps to one cell (the parent-side
+    receive of already-averaged values).
+    """
+    if table is None:
+        table = build_offset_table(regions, ratio)
+    for idx, (j0, j1, i0, i1) in enumerate(regions):
+        nj, ni = (j1 - j0) // ratio, (i1 - i0) // ratio
+        vals = buf[table.offsets[idx] : table.offsets[idx] + table.counts[idx]]
+        field[j0:j1, i0:i1] = vals.reshape(nj, ni).repeat(ratio, 0).repeat(
+            ratio, 1
+        )

@@ -1,0 +1,65 @@
+"""Tests for repro.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_series,
+    format_table,
+    linear_fit,
+    paper_vs_measured,
+    r_squared,
+)
+from repro.analysis.fit import convergence_order
+from repro.errors import ValidationError
+
+
+class TestFit:
+    def test_linear_fit_exact(self):
+        x = np.array([0.0, 1.0, 2.0])
+        a, b = linear_fit(x, 3 * x + 1)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(1.0)
+
+    def test_r_squared_perfect(self):
+        x = np.array([0.0, 1.0, 2.0])
+        assert r_squared(x, 2 * x, 2.0, 0.0) == pytest.approx(1.0)
+
+    def test_r_squared_penalizes_misfit(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = np.array([0.0, 2.0, 1.0, 3.0])
+        a, b = linear_fit(x, y)
+        assert r_squared(x, y, a, b) < 1.0
+
+    def test_fit_needs_samples(self):
+        with pytest.raises(ValidationError):
+            linear_fit([1.0], [1.0])
+
+    def test_convergence_order(self):
+        # Errors quartering with halving h -> order 2.
+        errors = [1.0, 0.25, 0.0625]
+        assert convergence_order(errors, [2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_convergence_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            convergence_order([1.0, 0.0], [2.0])
+
+
+class TestReport:
+    def test_format_table_aligned(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_format_series(self):
+        text = format_series(
+            "sockets", {"aoba": [1.0, 2.0], "squid": [3.0, 4.0]}, [4, 8]
+        )
+        assert "sockets" in text and "aoba" in text
+        assert "4" in text and "8" in text
+
+    def test_paper_vs_measured(self):
+        text = paper_vs_measured([("runtime", 82, 94)], title="Fig 15")
+        assert "Fig 15" in text
+        assert "paper" in text and "measured" in text

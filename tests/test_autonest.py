@@ -1,0 +1,148 @@
+"""Tests for the automatic nest builder (repro.topo.autonest)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CFLError, GridError
+from repro.grid.hierarchy import NestedGrid
+from repro.topo.autonest import (
+    AutoNestConfig,
+    _dilate,
+    build_auto_nest,
+    mask_to_rectangles,
+)
+from repro.topo.bathymetry import ShelfBathymetry
+
+BATHY = ShelfBathymetry(
+    ocean_depth=3000.0,
+    shelf_width=7500.0,
+    coast_y=9_000.0,
+    coast_amplitude=150.0,
+    coast_wavelength=6_000.0,
+    land_slope=0.02,
+)
+DOMAIN = (30_000.0, 30_000.0)
+
+
+class TestMaskToRectangles:
+    def test_single_rectangle(self):
+        mask = np.zeros((6, 8), dtype=bool)
+        mask[1:4, 2:6] = True
+        assert mask_to_rectangles(mask) == [(2, 1, 6, 4)]
+
+    def test_exact_cover_arbitrary_mask(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((20, 20)) < 0.4
+        rects = mask_to_rectangles(mask)
+        rebuilt = np.zeros_like(mask)
+        for i0, j0, i1, j1 in rects:
+            assert not rebuilt[j0:j1, i0:i1].any(), "rectangles overlap"
+            rebuilt[j0:j1, i0:i1] = True
+        assert np.array_equal(rebuilt, mask)
+
+    def test_empty_mask(self):
+        assert mask_to_rectangles(np.zeros((4, 4), dtype=bool)) == []
+
+    def test_l_shape(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0:2, 0:4] = True
+        mask[2:4, 0:2] = True
+        rects = mask_to_rectangles(mask)
+        total = sum((i1 - i0) * (j1 - j0) for i0, j0, i1, j1 in rects)
+        assert total == mask.sum()
+
+
+class TestDilate:
+    def test_grows_by_one(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        out = _dilate(mask, 1)
+        assert out.sum() == 5  # plus-shaped neighborhood
+        assert out[2, 1] and out[1, 2]
+
+    def test_zero_cells_identity(self):
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[1, 1] = True
+        assert np.array_equal(_dilate(mask, 0), mask)
+
+
+class TestBuildAutoNest:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        cfg = AutoNestConfig(
+            n_levels=3, dx_coarsest=270.0, dt=0.5,
+            coastal_band_m=400.0,
+        )
+        return build_auto_nest(BATHY, *DOMAIN, cfg)
+
+    def test_produces_valid_nested_grid(self, grid):
+        assert isinstance(grid, NestedGrid)
+        assert grid.n_levels == 3
+        assert grid.level(2).n_blocks >= 1
+        assert grid.level(3).n_blocks >= 1
+
+    def test_fine_levels_track_the_coast(self, grid):
+        # Every level >= 2 block must contain at least one near-coast cell.
+        for lvl in grid.levels[1:]:
+            for blk in lvl.blocks:
+                depth = BATHY.sample_cells(
+                    blk.gi0 * lvl.dx, blk.gj0 * lvl.dx, blk.nx, blk.ny, lvl.dx
+                )
+                assert (np.abs(depth) < 1500.0).any()
+
+    def test_fine_levels_avoid_deep_ocean(self, grid):
+        # The finest level must not cover the 3000 m abyss.
+        lvl = grid.levels[-1]
+        for blk in lvl.blocks:
+            depth = BATHY.sample_cells(
+                blk.gi0 * lvl.dx, blk.gj0 * lvl.dx, blk.nx, blk.ny, lvl.dx
+            )
+            assert depth.max() < 2500.0
+
+    def test_cfl_safe_by_construction(self, grid):
+        from repro.grid.cfl import check_cfl_depth_field
+
+        for lvl in grid.levels:
+            for blk in lvl.blocks:
+                depth = BATHY.sample_cells(
+                    blk.gi0 * lvl.dx, blk.gj0 * lvl.dx, blk.nx, blk.ny, lvl.dx
+                )
+                check_cfl_depth_field(lvl.dx, 0.5, depth)
+
+    def test_runs_in_the_model(self, grid):
+        from repro.core import RTiModel, SimulationConfig
+        from repro.fault import GaussianSource
+
+        model = RTiModel(grid, BATHY, SimulationConfig(dt=0.5))
+        model.set_initial_condition(
+            GaussianSource(x0=15_000.0, y0=20_000.0, amplitude=1.0,
+                           sigma=2_000.0)
+        )
+        model.run(60)
+        for st in model.states.values():
+            assert np.isfinite(st.z_old).all()
+
+    def test_single_level_degenerate(self):
+        cfg = AutoNestConfig(n_levels=1, dx_coarsest=270.0, dt=0.5)
+        g = build_auto_nest(BATHY, *DOMAIN, cfg)
+        assert g.n_levels == 1
+
+    def test_cfl_violation_raises(self):
+        # dt far too large for the coarse grid over 3000 m of water.
+        cfg = AutoNestConfig(n_levels=1, dx_coarsest=90.0, dt=2.0)
+        with pytest.raises(CFLError):
+            build_auto_nest(BATHY, *DOMAIN, cfg)
+
+    def test_no_coast_raises(self):
+        from repro.validation import FlatBathymetry
+
+        cfg = AutoNestConfig(n_levels=2, dx_coarsest=270.0, dt=0.5,
+                             coastal_band_m=10.0)
+        with pytest.raises(GridError):
+            build_auto_nest(FlatBathymetry(3000.0), *DOMAIN, cfg)
+
+    def test_config_validation(self):
+        with pytest.raises(GridError):
+            AutoNestConfig(n_levels=0)
+        with pytest.raises(GridError):
+            AutoNestConfig(band_shrink=1.5)

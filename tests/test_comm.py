@@ -1,0 +1,164 @@
+"""Tests for the in-process simulated MPI (repro.par.comm)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicationError
+from repro.par.comm import ANY_SOURCE, Communicator, run_ranks
+
+
+class TestPointToPoint:
+    def test_send_recv_object(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_ranks(2, fn)
+        assert results[1] == {"a": 7}
+
+    def test_numpy_payload_copied(self):
+        def fn(comm):
+            if comm.rank == 0:
+                data = np.arange(10)
+                comm.send(data, dest=1)
+                data[:] = -1  # mutation after send must not leak
+                return None
+            got = comm.recv(source=0)
+            return int(got.sum())
+
+        assert run_ranks(2, fn)[1] == 45
+
+    def test_tag_matching_out_of_order(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_ranks(2, fn)[1] == ("first", "second")
+
+    def test_any_source(self):
+        def fn(comm):
+            if comm.rank == 0:
+                got = sorted(comm.recv(source=ANY_SOURCE) for _ in range(2))
+                return got
+            comm.send(comm.rank, dest=0)
+            return None
+
+        assert run_ranks(3, fn)[0] == [1, 2]
+
+    def test_isend_irecv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.ones(4), dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return float(req.wait().sum())
+
+        assert run_ranks(2, fn)[1] == 4.0
+
+    def test_recv_timeout_is_deadlock_guard(self):
+        def fn(comm):
+            if comm.rank == 1:
+                return comm.recv(source=0, timeout=0.2)
+            return None
+
+        with pytest.raises(CommunicationError):
+            run_ranks(2, fn)
+
+
+class TestCollectives:
+    def test_barrier(self):
+        order = []
+
+        def fn(comm):
+            order.append(("pre", comm.rank))
+            comm.barrier_sync()
+            order.append(("post", comm.rank))
+            return True
+
+        run_ranks(3, fn)
+        pres = [i for i, (p, _r) in enumerate(order) if p == "pre"]
+        posts = [i for i, (p, _r) in enumerate(order) if p == "post"]
+        assert max(pres) < min(posts)
+
+    def test_allreduce_sum(self):
+        results = run_ranks(4, lambda c: c.allreduce(c.rank + 1))
+        assert results == [10, 10, 10, 10]
+
+    def test_allreduce_custom_op(self):
+        results = run_ranks(3, lambda c: c.allreduce(c.rank, op=max))
+        assert results == [2, 2, 2]
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank * 10, root=0)
+
+        results = run_ranks(3, fn)
+        assert results[0] == [0, 10, 20]
+        assert results[1] is None
+
+
+class TestErrorPropagation:
+    def test_worker_exception_reraised(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.barrier_sync(timeout=5.0)
+
+        with pytest.raises((ValueError, CommunicationError)):
+            run_ranks(2, fn)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(CommunicationError):
+            run_ranks(0, lambda c: None)
+
+    def test_bad_destination(self):
+        def fn(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(CommunicationError):
+            run_ranks(2, fn)
+
+
+class TestHaloPipelineOverSimulatedMPI:
+    """The pack -> send -> recv -> unpack pipeline of the real code."""
+
+    def test_boundary_exchange_roundtrip(self):
+        from repro.xchg.packing import (
+            pack_boundary_offsets,
+            unpack_boundary_offsets,
+        )
+
+        ny, nx = 8, 10
+        rng = np.random.default_rng(3)
+        fields = [rng.normal(0, 1, (ny, nx)) for _ in range(2)]
+
+        def fn(comm):
+            local = [f.copy() for f in fields]
+            if comm.rank == 0:
+                # Send my last two columns; receive into my ghost region
+                # (here emulated as the first two columns).
+                send_region = (slice(0, ny), slice(nx - 4, nx - 2))
+                recv_region = (slice(0, ny), slice(nx - 2, nx))
+                comm.send(pack_boundary_offsets(local, send_region), dest=1)
+                buf = comm.recv(source=1)
+                unpack_boundary_offsets(buf, local, recv_region)
+            else:
+                send_region = (slice(0, ny), slice(2, 4))
+                recv_region = (slice(0, ny), slice(0, 2))
+                comm.send(pack_boundary_offsets(local, send_region), dest=0)
+                buf = comm.recv(source=0)
+                unpack_boundary_offsets(buf, local, recv_region)
+            return local
+
+        r0, r1 = run_ranks(2, fn)
+        # Rank 0's ghost columns hold rank 1's interior columns.
+        assert np.array_equal(r0[0][:, nx - 2 : nx], fields[0][:, 2:4])
+        assert np.array_equal(r1[0][:, 0:2], fields[0][:, nx - 4 : nx - 2])

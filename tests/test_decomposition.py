@@ -1,0 +1,160 @@
+"""Tests for repro.par.decomposition."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.grid.block import Block
+from repro.grid.hierarchy import NestedGrid
+from repro.grid.level import GridLevel
+from repro.par.decomposition import (
+    Decomposition,
+    RankWork,
+    WorkItem,
+    build_decomposition,
+    decomposition_from_separators,
+    equal_cell_assignment,
+    ranks_per_level,
+)
+from repro.topo import build_kochi_grid
+
+
+def simple_grid():
+    l1 = GridLevel(index=1, dx=90.0, blocks=[Block(0, 1, 0, 0, 12, 12)])
+    l2 = GridLevel(
+        index=2,
+        dx=30.0,
+        blocks=[
+            Block(1, 2, 0, 0, 9, 9),
+            Block(2, 2, 9, 0, 9, 9),
+            Block(3, 2, 18, 0, 9, 9),
+            Block(4, 2, 27, 0, 9, 9),
+        ],
+    )
+    return NestedGrid([l1, l2])
+
+
+class TestWorkItem:
+    def test_whole_block(self):
+        blk = Block(0, 1, 0, 0, 10, 8)
+        it = WorkItem(blk)
+        assert it.is_whole_block
+        assert it.n_cells == 80
+
+    def test_strip(self):
+        blk = Block(0, 1, 0, 0, 10, 8)
+        it = WorkItem(blk, 2, 5)
+        assert not it.is_whole_block
+        assert it.n_rows == 3
+        assert it.n_cells == 30
+
+    def test_bad_rows(self):
+        blk = Block(0, 1, 0, 0, 10, 8)
+        with pytest.raises(DecompositionError):
+            WorkItem(blk, 5, 5)
+        with pytest.raises(DecompositionError):
+            WorkItem(blk, 0, 9)
+
+
+class TestRanksPerLevel:
+    def test_kochi_16_matches_paper(self):
+        grid = build_kochi_grid()
+        assert ranks_per_level(grid, 16) == [1, 1, 1, 3, 10]
+
+    def test_minimum_one_per_level(self):
+        grid = simple_grid()
+        assert ranks_per_level(grid, 2) == [1, 1]
+
+    def test_sum_is_total(self):
+        grid = build_kochi_grid()
+        for n in (5, 8, 16, 32, 64):
+            assert sum(ranks_per_level(grid, n)) == n
+
+    def test_too_few_ranks_raises(self):
+        with pytest.raises(DecompositionError):
+            ranks_per_level(simple_grid(), 1)
+
+
+class TestEqualCellAssignment:
+    def test_covers_every_cell_once(self):
+        # Decomposition.__post_init__ validates exact coverage.
+        d = equal_cell_assignment(simple_grid(), 3)
+        assert d.n_ranks == 3
+        assert sum(d.cells_per_rank()) == simple_grid().n_cells
+
+    def test_split_blocks_balance(self):
+        # One level, 12x12 block, split over 5 ranks by rows.
+        grid = NestedGrid(
+            [GridLevel(index=1, dx=90.0, blocks=[Block(0, 1, 0, 0, 12, 12)])]
+        )
+        d = equal_cell_assignment(grid, 5)
+        cells = d.cells_per_rank()
+        assert sum(cells) == 144
+        assert max(cells) - min(cells) <= 12  # within one row
+
+    def test_whole_block_mode(self):
+        d = equal_cell_assignment(simple_grid(), 3, split_blocks=False)
+        for rw in d.ranks:
+            for it in rw.items:
+                assert it.is_whole_block
+
+    def test_consecutive_blocks_per_rank(self):
+        d = equal_cell_assignment(build_kochi_grid(), 16, split_blocks=False)
+        for rw in d.ranks:
+            ids = [it.block.block_id for it in rw.items]
+            assert ids == sorted(ids)
+            assert ids == list(range(ids[0], ids[0] + len(ids)))
+
+    def test_fewer_ranks_than_levels(self):
+        d = equal_cell_assignment(simple_grid(), 1)
+        assert d.n_ranks == 1
+        assert d.ranks[0].n_cells == simple_grid().n_cells
+
+    def test_kochi_no_rank_spans_levels_at_16(self):
+        grid = build_kochi_grid()
+        d = equal_cell_assignment(grid, 16)
+        for rw in d.ranks:
+            levels = {it.block.level for it in rw.items}
+            assert len(levels) == 1
+
+
+class TestSeparators:
+    def test_from_separators(self):
+        grid = simple_grid()
+        d = decomposition_from_separators(grid, {1: [], 2: [1, 3]})
+        l2_ranks = [rw for rw in d.ranks if rw.level == 2]
+        assert [rw.n_blocks for rw in l2_ranks] == [1, 2, 1]
+
+    def test_empty_rank_rejected(self):
+        with pytest.raises(DecompositionError):
+            decomposition_from_separators(simple_grid(), {1: [], 2: [2, 2]})
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(DecompositionError):
+            decomposition_from_separators(simple_grid(), {1: [], 2: [3, 1]})
+
+
+class TestDecompositionValidation:
+    def test_missing_rows_detected(self):
+        grid = simple_grid()
+        blk = grid.block(0)
+        ranks = (
+            RankWork(0, 1, (WorkItem(blk, 0, 6),)),  # rows 6..12 missing
+            RankWork(1, 2, tuple(WorkItem(b) for b in grid.level(2).blocks)),
+        )
+        with pytest.raises(DecompositionError):
+            Decomposition(grid, ranks)
+
+    def test_bad_rank_numbering(self):
+        grid = simple_grid()
+        ranks = (
+            RankWork(1, 1, (WorkItem(grid.block(0)),)),
+            RankWork(0, 2, tuple(WorkItem(b) for b in grid.level(2).blocks)),
+        )
+        with pytest.raises(DecompositionError):
+            Decomposition(grid, ranks)
+
+    def test_build_dispatcher(self):
+        d = build_decomposition(simple_grid(), 2)
+        assert d.n_ranks == 2
+        with pytest.raises(DecompositionError):
+            build_decomposition(simple_grid(), 2, policy="magic")

@@ -1,0 +1,198 @@
+"""Tests for repro.nesting (JNZ restriction, JNQ interpolation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NestingError
+from repro.grid.block import Block
+from repro.grid.staggered import NGHOST, eta_shape, flux_m_shape, flux_n_shape
+from repro.nesting.interp import (
+    _subtract_intervals,
+    child_boundary_segments,
+    interpolate_fluxes,
+)
+from repro.nesting.restrict import restrict_eta, restriction_region
+
+G = NGHOST
+
+
+class TestRestrictionRegion:
+    def setup_method(self):
+        self.parent = Block(0, 1, 0, 0, 12, 12)
+        self.child = Block(1, 2, 9, 9, 18, 18)  # parent cells (3,3)-(9,9)
+
+    def test_full_overlap(self):
+        regions = restriction_region(self.parent, self.child, mode="full")
+        assert regions == [(3, 3, 9, 9)]
+
+    def test_boundary_strips_cover_frame(self):
+        regions = restriction_region(
+            self.parent, self.child, mode="boundary", width=2
+        )
+        cells = set()
+        for i0, j0, i1, j1 in regions:
+            for j in range(j0, j1):
+                for i in range(i0, i1):
+                    assert (i, j) not in cells, "regions overlap"
+                    cells.add((i, j))
+        # Frame of width 2 around a 6x6 footprint: 36 - 4 = 32 cells.
+        assert len(cells) == 32
+        # The interior (center 2x2) is excluded.
+        assert (5, 5) not in cells
+        assert (3, 3) in cells and (8, 8) in cells
+
+    def test_wide_strip_degenerates_to_full(self):
+        regions = restriction_region(
+            self.parent, self.child, mode="boundary", width=3
+        )
+        cells = sum((i1 - i0) * (j1 - j0) for i0, j0, i1, j1 in regions)
+        assert cells == 36
+
+    def test_no_overlap_gives_empty(self):
+        far = Block(2, 2, 90, 90, 9, 9)
+        assert restriction_region(self.parent, far) == []
+
+    def test_unknown_mode(self):
+        with pytest.raises(NestingError):
+            restriction_region(self.parent, self.child, mode="bogus")
+
+
+class TestRestrictEta:
+    def test_mean_preserving(self):
+        parent = Block(0, 1, 0, 0, 6, 6)
+        child = Block(1, 2, 0, 0, 18, 18)
+        pz = np.zeros(eta_shape(6, 6))
+        cz = np.zeros(eta_shape(18, 18))
+        rng = np.random.default_rng(0)
+        cz[G : G + 18, G : G + 18] = rng.normal(0, 1, (18, 18))
+        written = restrict_eta(pz, cz, parent, child, mode="full")
+        assert written == 36
+        sub = cz[G : G + 18, G : G + 18].reshape(6, 3, 6, 3).mean(axis=(1, 3))
+        assert np.allclose(pz[G : G + 6, G : G + 6], sub)
+
+    def test_constant_field_restricts_to_constant(self):
+        parent = Block(0, 1, 0, 0, 6, 6)
+        child = Block(1, 2, 0, 0, 18, 18)
+        pz = np.zeros(eta_shape(6, 6))
+        cz = np.full(eta_shape(18, 18), 2.5)
+        restrict_eta(pz, cz, parent, child, mode="full")
+        assert np.allclose(pz[G : G + 6, G : G + 6], 2.5)
+
+    def test_boundary_mode_leaves_interior(self):
+        parent = Block(0, 1, 0, 0, 6, 6)
+        child = Block(1, 2, 0, 0, 18, 18)
+        pz = np.full(eta_shape(6, 6), -9.0)
+        cz = np.full(eta_shape(18, 18), 1.0)
+        restrict_eta(pz, cz, parent, child, mode="boundary", width=1)
+        inner = pz[G + 1 : G + 5, G + 1 : G + 5]
+        assert np.all(inner == -9.0)  # untouched
+        assert np.all(pz[G, G : G + 6] == 1.0)  # bottom strip written
+
+    def test_offset_child(self):
+        parent = Block(0, 1, 0, 0, 12, 12)
+        child = Block(1, 2, 9, 9, 9, 9)  # parent cells (3,3)-(6,6)
+        pz = np.zeros(eta_shape(12, 12))
+        cz = np.full(eta_shape(9, 9), 4.0)
+        written = restrict_eta(pz, cz, parent, child, mode="full")
+        assert written == 9
+        assert np.all(pz[G + 3 : G + 6, G + 3 : G + 6] == 4.0)
+        assert pz[G, G] == 0.0
+
+
+class TestSubtractIntervals:
+    def test_no_coverage(self):
+        assert _subtract_intervals((0, 10), []) == [(0, 10)]
+
+    def test_middle_hole(self):
+        assert _subtract_intervals((0, 10), [(3, 6)]) == [(0, 3), (6, 10)]
+
+    def test_full_coverage(self):
+        assert _subtract_intervals((0, 10), [(0, 10)]) == []
+
+    def test_multiple_holes(self):
+        out = _subtract_intervals((0, 12), [(2, 4), (8, 10)])
+        assert out == [(0, 2), (4, 8), (10, 12)]
+
+
+class TestChildBoundarySegments:
+    def test_isolated_block_has_all_sides(self):
+        blk = Block(0, 2, 0, 0, 9, 9)
+        segs = child_boundary_segments([blk], blk)
+        assert segs["W"] == [(0, 9)]
+        assert segs["N"] == [(0, 9)]
+
+    def test_neighbor_covers_shared_edge(self):
+        a = Block(0, 2, 0, 0, 9, 9)
+        b = Block(1, 2, 9, 0, 9, 9)
+        segs = child_boundary_segments([a, b], a)
+        assert segs["E"] == []
+        assert segs["W"] == [(0, 9)]
+        segs_b = child_boundary_segments([a, b], b)
+        assert segs_b["W"] == []
+
+    def test_partial_coverage(self):
+        a = Block(0, 2, 0, 0, 9, 18)
+        b = Block(1, 2, 9, 0, 9, 9)  # covers lower half of a's east edge
+        segs = child_boundary_segments([a, b], a)
+        assert segs["E"] == [(9, 18)]
+
+
+class TestInterpolateFluxes:
+    def test_west_edge_copy(self):
+        parent = Block(0, 1, 0, 0, 6, 6)
+        child = Block(1, 2, 3, 0, 9, 18)  # west edge at parent face 1
+        pm = np.zeros(flux_m_shape(6, 6))
+        pn = np.zeros(flux_n_shape(6, 6))
+        cm = np.zeros(flux_m_shape(18, 9))
+        cn = np.zeros(flux_n_shape(18, 9))
+        # Parent M at face column 1 (array col G+1), rows 0..5.
+        pm[G : G + 6, G + 1] = np.arange(6, dtype=float) + 1.0
+        segs = {"W": [(0, 18)], "E": [], "S": [], "N": []}
+        written = interpolate_fluxes(pm, pn, cm, cn, parent, child, segs)
+        assert written == 18
+        edge = cm[G : G + 18, G]
+        assert np.array_equal(edge, np.repeat(np.arange(6) + 1.0, 3))
+
+    def test_south_edge_copy(self):
+        parent = Block(0, 1, 0, 0, 6, 6)
+        child = Block(1, 2, 0, 3, 18, 9)  # south edge at parent face row 1
+        pm = np.zeros(flux_m_shape(6, 6))
+        pn = np.zeros(flux_n_shape(6, 6))
+        cm = np.zeros(flux_m_shape(9, 18))
+        cn = np.zeros(flux_n_shape(9, 18))
+        pn[G + 1, G : G + 6] = 7.0
+        segs = {"W": [], "E": [], "S": [(0, 18)], "N": []}
+        written = interpolate_fluxes(pm, pn, cm, cn, parent, child, segs)
+        assert written == 18
+        assert np.all(cn[G, G : G + 18] == 7.0)
+
+    def test_flux_conservation_through_interface(self):
+        # Discharge (flux per unit width) copied to 3 child faces of 1/3
+        # width carries exactly the parent's volume flux.
+        parent = Block(0, 1, 0, 0, 6, 6)
+        child = Block(1, 2, 3, 0, 9, 18)
+        pm = np.zeros(flux_m_shape(6, 6))
+        pm[G : G + 6, G + 1] = 2.0
+        cm = np.zeros(flux_m_shape(18, 9))
+        pn = np.zeros(flux_n_shape(6, 6))
+        cn = np.zeros(flux_n_shape(18, 9))
+        segs = {"W": [(0, 18)], "E": [], "S": [], "N": []}
+        interpolate_fluxes(pm, pn, cm, cn, parent, child, segs)
+        dx_parent, dx_child = 30.0, 10.0
+        parent_flux = float(pm[G : G + 6, G + 1].sum()) * dx_parent
+        child_flux = float(cm[G : G + 18, G].sum()) * dx_child
+        assert child_flux == pytest.approx(parent_flux)
+
+    def test_misaligned_segment_raises(self):
+        parent = Block(0, 1, 0, 0, 6, 6)
+        child = Block(1, 2, 3, 0, 9, 18)
+        arrs = (
+            np.zeros(flux_m_shape(6, 6)),
+            np.zeros(flux_n_shape(6, 6)),
+            np.zeros(flux_m_shape(18, 9)),
+            np.zeros(flux_n_shape(18, 9)),
+        )
+        with pytest.raises(NestingError):
+            interpolate_fluxes(
+                *arrs, parent, child, {"W": [(0, 17)], "E": [], "S": [], "N": []}
+            )

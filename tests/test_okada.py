@@ -1,0 +1,138 @@
+"""Tests for repro.fault.okada — physical sanity of the Okada-85 solution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.okada import OkadaFault, okada_displacement
+
+
+def thrust(**kw):
+    base = dict(
+        x0=0.0,
+        y0=0.0,
+        depth_top=10_000.0,
+        strike_deg=90.0,
+        dip_deg=15.0,
+        rake_deg=90.0,
+        slip=3.0,
+        length=80_000.0,
+        width=40_000.0,
+    )
+    base.update(kw)
+    return OkadaFault(**base)
+
+
+def grid(extent=300_000.0, n=41):
+    xs = np.linspace(-extent, extent, n)
+    return np.meshgrid(xs, xs)
+
+
+class TestValidation:
+    def test_rejects_bad_dip(self):
+        with pytest.raises(ConfigurationError):
+            thrust(dip_deg=0.0)
+        with pytest.raises(ConfigurationError):
+            thrust(dip_deg=91.0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            thrust(length=-1.0)
+        with pytest.raises(ConfigurationError):
+            thrust(depth_top=-5.0)
+
+    def test_rake_decomposition(self):
+        f = thrust(rake_deg=90.0, slip=2.0)
+        assert f.u_dip == pytest.approx(2.0)
+        assert f.u_strike == pytest.approx(0.0, abs=1e-12)
+        g = thrust(rake_deg=0.0, slip=2.0)
+        assert g.u_strike == pytest.approx(2.0)
+
+
+class TestThrustDeformation:
+    def test_finite_everywhere(self):
+        x, y = grid()
+        ux, uy, uz = okada_displacement(thrust(), x, y)
+        for a in (ux, uy, uz):
+            assert np.isfinite(a).all()
+
+    def test_uplift_and_subsidence_pattern(self):
+        # A thrust produces an uplift lobe toward the up-dip side and a
+        # subsidence trough behind it.
+        x, y = grid()
+        _ux, _uy, uz = okada_displacement(thrust(), x, y)
+        assert uz.max() > 0.1
+        assert uz.min() < -0.02
+        assert uz.max() > -uz.min()  # uplift dominates for thrust
+
+    def test_amplitude_below_slip(self):
+        x, y = grid()
+        _ux, _uy, uz = okada_displacement(thrust(slip=3.0), x, y)
+        assert np.abs(uz).max() < 3.0
+
+    def test_far_field_decay(self):
+        f = thrust()
+        _ux, _uy, uz_near = okada_displacement(
+            f, np.array([0.0]), np.array([50_000.0])
+        )
+        _ux, _uy, uz_far = okada_displacement(
+            f, np.array([0.0]), np.array([2_000_000.0])
+        )
+        assert abs(uz_far[0]) < 1e-2 * abs(uz_near[0])
+
+    def test_linear_in_slip(self):
+        x, y = grid(n=21)
+        _ux, _uy, uz1 = okada_displacement(thrust(slip=1.0), x, y)
+        _ux, _uy, uz3 = okada_displacement(thrust(slip=3.0), x, y)
+        assert np.allclose(uz3, 3.0 * uz1, rtol=1e-10)
+
+    def test_along_strike_symmetry(self):
+        # Pure dip slip with strike 90 (along +x): uz symmetric about the
+        # fault's along-strike midpoint.
+        x, y = grid(n=41)
+        _ux, _uy, uz = okada_displacement(thrust(), x, y)
+        assert np.allclose(uz, uz[:, ::-1], atol=1e-9)
+
+    def test_deeper_fault_smoother_smaller(self):
+        x, y = grid(n=31)
+        _u, _v, shallow = okada_displacement(thrust(depth_top=5_000.0), x, y)
+        _u, _v, deep = okada_displacement(thrust(depth_top=40_000.0), x, y)
+        assert np.abs(deep).max() < np.abs(shallow).max()
+
+
+class TestStrikeSlip:
+    def test_quadrant_antisymmetry(self):
+        # Pure strike-slip uz has a quadrant pattern: antisymmetric in the
+        # along-strike coordinate.
+        f = thrust(rake_deg=0.0, dip_deg=90.0, strike_deg=90.0)
+        x, y = grid(n=41)
+        _ux, _uy, uz = okada_displacement(f, x, y)
+        assert np.abs(uz + uz[:, ::-1]).max() < 5e-3 * np.abs(uz).max() + 1e-12
+
+    def test_small_vertical_signal(self):
+        ss = thrust(rake_deg=0.0, dip_deg=90.0)
+        th = thrust()
+        x, y = grid(n=31)
+        _u, _v, uz_ss = okada_displacement(ss, x, y)
+        _u, _v, uz_th = okada_displacement(th, x, y)
+        assert np.abs(uz_ss).max() < np.abs(uz_th).max()
+
+    def test_vertical_dip_limit_continuous(self):
+        # dip -> 90 deg uses the cos(delta) ~ 0 special branches; they
+        # must connect continuously to the generic formulas.
+        x, y = grid(n=21)
+        f89 = thrust(rake_deg=0.0, dip_deg=89.99)
+        f90 = thrust(rake_deg=0.0, dip_deg=90.0)
+        _u, _v, uz89 = okada_displacement(f89, x, y)
+        _u, _v, uz90 = okada_displacement(f90, x, y)
+        assert np.allclose(uz89, uz90, atol=5e-4)
+
+    def test_strike_rotation_consistency(self):
+        # Rotating the fault and the observation grid together must give
+        # the same vertical field.
+        x, y = grid(n=21)
+        f_ns = thrust(strike_deg=0.0)
+        f_ew = thrust(strike_deg=90.0)
+        _u, _v, uz_ns = okada_displacement(f_ns, x, y)
+        _u, _v, uz_ew = okada_displacement(f_ew, y, -x)
+        assert np.allclose(uz_ns, uz_ew, atol=1e-9)

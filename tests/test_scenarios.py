@@ -1,0 +1,81 @@
+"""Tests for repro.fault.scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fault.scenarios import (
+    GaussianSource,
+    initial_eta_for_block,
+    moment_magnitude,
+    nankai_like_scenario,
+)
+from repro.grid.block import Block
+
+
+class TestGaussianSource:
+    def test_peak_at_center(self):
+        s = GaussianSource(x0=1000.0, y0=2000.0, amplitude=2.0, sigma=500.0)
+        assert s.eta(1000.0, 2000.0) == pytest.approx(2.0)
+
+    def test_radial_decay(self):
+        s = GaussianSource(x0=0.0, y0=0.0, amplitude=1.0, sigma=100.0)
+        assert s.eta(100.0, 0.0) == pytest.approx(np.exp(-0.5))
+        assert s.eta(0.0, 300.0) < s.eta(0.0, 100.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            GaussianSource(0.0, 0.0, sigma=0.0)
+
+
+class TestNankaiScenario:
+    def test_segment_layout(self):
+        faults = nankai_like_scenario(1_000_000.0, 1_200_000.0, n_segments=3)
+        assert len(faults) == 3
+        # Segments are offshore (y > half the domain) and along-strike.
+        for f in faults:
+            assert f.y0 > 600_000.0
+            assert f.rake_deg == 90.0
+        xs = [f.x0 for f in faults]
+        assert xs == sorted(xs)
+
+    def test_magnitude_scale(self):
+        weak = nankai_like_scenario(1e6, 1e6, magnitude_scale=0.5)
+        strong = nankai_like_scenario(1e6, 1e6, magnitude_scale=2.0)
+        assert strong[0].slip == pytest.approx(4 * weak[0].slip)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ConfigurationError):
+            nankai_like_scenario(1e6, 1e6, n_segments=0)
+
+    def test_moment_magnitude_plausible(self):
+        faults = nankai_like_scenario(1_000_000.0, 1_200_000.0)
+        mw = moment_magnitude(faults)
+        assert 7.0 < mw < 9.5
+
+
+class TestInitialEta:
+    def test_gaussian_on_block(self):
+        blk = Block(0, 1, 0, 0, 10, 8)
+        src = GaussianSource(x0=50.0, y0=40.0, amplitude=1.0, sigma=30.0)
+        eta = initial_eta_for_block(src, blk, dx=10.0)
+        assert eta.shape == (8, 10)
+        j, i = np.unravel_index(np.argmax(eta), eta.shape)
+        assert (i, j) == (4, 3)  # cell centered nearest (50, 40)
+
+    def test_depth_mask_zeroes_land(self):
+        blk = Block(0, 1, 0, 0, 4, 4)
+        src = GaussianSource(x0=20.0, y0=20.0, amplitude=1.0, sigma=100.0)
+        depth = np.full((4, 4), 100.0)
+        depth[0, 0] = -5.0  # land
+        eta = initial_eta_for_block(src, blk, dx=10.0, depth=depth)
+        assert eta[0, 0] == 0.0
+        assert eta[2, 2] > 0.0
+
+    def test_okada_source_pathway(self):
+        blk = Block(0, 1, 0, 0, 30, 30)
+        faults = nankai_like_scenario(30_000.0, 30_000.0, n_segments=1)
+        eta = initial_eta_for_block(faults, blk, dx=1000.0)
+        assert eta.shape == (30, 30)
+        assert np.isfinite(eta).all()
+        assert np.abs(eta).max() > 0.0

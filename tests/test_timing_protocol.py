@@ -1,0 +1,96 @@
+"""Tests for the message cost model and UCX-style protocol selection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.par.protocol import ProtocolConfig, message_time
+from repro.par.timing import MessageCostModel
+
+
+class TestMessageCostModel:
+    def test_host_time_latency_plus_bandwidth(self):
+        m = MessageCostModel(nic_latency_us=2.0, nic_bw_gbs=10.0,
+                             host_mpi_overhead_us=1.0)
+        # 1 MB at 10 GB/s = 100 us, plus 3 us overheads.
+        assert m.host_time_us(1_000_000) == pytest.approx(103.0)
+
+    def test_staged_includes_two_pcie_copies(self):
+        m = MessageCostModel()
+        nbytes = 100_000
+        assert m.staged_time_us(nbytes) == pytest.approx(
+            2 * m.pcie_copy_us(nbytes) + m.host_time_us(nbytes)
+        )
+
+    def test_staged_slower_than_host(self):
+        m = MessageCostModel()
+        assert m.staged_time_us(65536) > m.host_time_us(65536)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            MessageCostModel(nic_bw_gbs=0.0)
+
+
+class TestProtocolSelection:
+    def setup_method(self):
+        self.cost = MessageCostModel(nic_latency_us=2.0, nic_bw_gbs=12.5)
+
+    def test_default_threshold_sends_small_eager(self):
+        cfg = ProtocolConfig(proto_auto=False)
+        small = 8 * 1024  # below threshold -> slow eager bounce
+        t_eager = message_time(small, self.cost, cfg, path="gdr")
+        t_auto = message_time(
+            small, self.cost, ProtocolConfig(proto_auto=True), path="gdr"
+        )
+        # Auto selection must never be slower than the default.
+        assert t_auto <= t_eager
+        # And for device buffers, the eager bounce is dramatically slower.
+        assert t_eager > 3 * t_auto
+
+    def test_large_messages_rendezvous_either_way(self):
+        cfg_def = ProtocolConfig(proto_auto=False)
+        cfg_auto = ProtocolConfig(proto_auto=True)
+        big = 1024 * 1024
+        assert message_time(big, self.cost, cfg_def, path="gdr") == pytest.approx(
+            message_time(big, self.cost, cfg_auto, path="gdr")
+        )
+
+    def test_affinity_penalty(self):
+        big = 1024 * 1024
+        good = ProtocolConfig(proto_auto=True, nic_affinity=True)
+        bad = ProtocolConfig(proto_auto=True, nic_affinity=False)
+        assert message_time(big, self.cost, bad, path="gdr") > message_time(
+            big, self.cost, good, path="gdr"
+        )
+
+    def test_paths(self):
+        assert message_time(1000, self.cost, path="host") == pytest.approx(
+            self.cost.host_time_us(1000)
+        )
+        assert message_time(1000, self.cost, path="staged") == pytest.approx(
+            self.cost.staged_time_us(1000)
+        )
+        with pytest.raises(ConfigurationError):
+            message_time(1000, self.cost, path="avian")
+
+    def test_rank_scaling_mechanism(self):
+        """The Fig.-14a mechanism: shrinking messages cross the threshold.
+
+        Large messages (few ranks) ride rendezvous and beat host staging;
+        small messages (many ranks) fall onto the eager bounce and lose
+        to it, until UCX_PROTO_ENABLE recovers the rendezvous path.
+        """
+        cfg = ProtocolConfig(proto_auto=False)
+        big, small = 128 * 1024, 8 * 1024
+        assert message_time(big, self.cost, cfg, path="gdr") < \
+            self.cost.staged_time_us(big)
+        assert message_time(small, self.cost, cfg, path="gdr") > \
+            self.cost.staged_time_us(small)
+        tuned = ProtocolConfig(proto_auto=True)
+        assert message_time(small, self.cost, tuned, path="gdr") < \
+            self.cost.staged_time_us(small)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(eager_gpu_bw_gbs=0.0)
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(cross_switch_bw_factor=1.5)
