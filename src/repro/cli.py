@@ -29,40 +29,80 @@ def _cmd_grid(_args) -> int:
     return 0
 
 
-def _cmd_forecast(args) -> int:
-    from repro.core import RTiModel, SimulationConfig
-    from repro.damage import assess_damage
+def _make_source(args):
     from repro.fault import GaussianSource, nankai_like_scenario
-    from repro.topo import build_mini_kochi
 
-    mk = build_mini_kochi()
-    model = RTiModel(mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt))
     if args.source == "gaussian":
-        model.set_initial_condition(
-            GaussianSource(x0=4_000.0, y0=16_000.0,
-                           amplitude=args.amplitude, sigma=2_500.0)
-        )
-    else:
-        model.set_initial_condition(
-            nankai_like_scenario(29_160.0, 36_450.0,
-                                 magnitude_scale=args.amplitude / 2.0)
-        )
-    steps = int(args.minutes * 60 / mk.dt)
-    print(f"Integrating {steps} steps ({args.minutes} simulated minutes)...")
-    model.run(steps)
+        return GaussianSource(x0=4_000.0, y0=16_000.0,
+                              amplitude=args.amplitude, sigma=2_500.0)
+    return nankai_like_scenario(29_160.0, 36_450.0,
+                                magnitude_scale=args.amplitude / 2.0)
+
+
+def _print_products(model, grid) -> None:
+    from repro.damage import assess_damage
+
     print(f"max water level : {model.max_eta():.2f} m")
     print(f"max flow speed  : {model.max_speed():.2f} m/s")
-    lvl5 = mk.grid.level(5)
-    area = sum(
-        model.outputs[b.block_id].inundated_area(lvl5.dx)
-        for b in lvl5.blocks
-    )
-    print(f"inundated area  : {area:.0f} m^2 (10 m grid)")
+    finest = model.grid.levels[-1]
+    if finest.index == grid.levels[-1].index:
+        area = sum(
+            model.outputs[b.block_id].inundated_area(finest.dx)
+            for b in finest.blocks
+        )
+        print(f"inundated area  : {area:.0f} m^2 ({finest.dx:g} m grid)")
+    else:
+        print("inundated area  : n/a (finest level dropped to meet deadline)")
     report = assess_damage(model)
     print(f"buildings exposed/damaged: {report.buildings_exposed:.0f} / "
           f"{report.buildings_damaged:.1f} "
           f"(ratio {report.damage_ratio:.3f})")
     print(f"population exposed       : {report.population_exposed:.0f}")
+
+
+def _cmd_forecast(args) -> int:
+    from repro.core import RTiModel, SimulationConfig
+    from repro.topo import build_mini_kochi
+
+    mk = build_mini_kochi()
+    source = _make_source(args)
+    steps = int(args.minutes * 60 / mk.dt)
+
+    resilient = (
+        args.deadline is not None
+        or args.faults is not None
+        or args.fault_seed is not None
+    )
+    if resilient:
+        from repro.resilience import FaultPlan, run_resilient_forecast
+
+        plan = None
+        if args.faults is not None:
+            plan = FaultPlan.from_file(args.faults)
+        elif args.fault_seed is not None:
+            n_blocks = sum(len(lv.blocks) for lv in mk.grid.levels)
+            plan = FaultPlan.random(
+                args.fault_seed, kinds=("nan", "straggler"),
+                n_faults=args.fault_count, n_ranks=1,
+                n_steps=max(steps, 1), n_blocks=n_blocks,
+            )
+        print(f"Integrating {steps} steps ({args.minutes} simulated "
+              f"minutes) with resilience enabled...")
+        report = run_resilient_forecast(
+            mk.grid, mk.bathymetry,
+            config=SimulationConfig(dt=mk.dt), source=source,
+            horizon_s=args.minutes * 60, deadline_s=args.deadline,
+            fault_plan=plan,
+        )
+        print(report.summary())
+        _print_products(report.model, mk.grid)
+        return 0
+
+    model = RTiModel(mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt))
+    model.set_initial_condition(source)
+    print(f"Integrating {steps} steps ({args.minutes} simulated minutes)...")
+    model.run(steps)
+    _print_products(model, mk.grid)
     return 0
 
 
@@ -143,6 +183,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="source amplitude [m] / slip scale")
     p_fc.add_argument("--minutes", type=float, default=2.0,
                       help="simulated minutes to integrate")
+    p_fc.add_argument("--deadline", type=float, default=None,
+                      help="wall-clock budget [s] (simulated on the hw "
+                           "model); enables graceful degradation")
+    p_fc.add_argument("--faults", default=None, metavar="PLAN.json",
+                      help="fault-plan file to inject (see "
+                           "repro.resilience.faultplan)")
+    p_fc.add_argument("--fault-seed", type=int, default=None,
+                      help="generate a random seeded fault plan instead "
+                           "of reading one from --faults")
+    p_fc.add_argument("--fault-count", type=int, default=3,
+                      help="number of faults for --fault-seed plans")
 
     p_sw = sub.add_parser("sweep", help="cross-platform runtime sweep")
     p_sw.add_argument("--sockets", type=int, nargs="+",

@@ -66,9 +66,13 @@ class RTiModel:
         config: SimulationConfig | None = None,
     ) -> None:
         self.grid = grid
+        self.bathymetry = bathymetry
         self.config = config or SimulationConfig()
         self.time = 0.0
         self.step_count = 0
+        #: Output-accumulation cadence in steps; the deadline supervisor
+        #: raises it ("coarsen output") to shed the OUTPUT phase's cost.
+        self.output_every = 1
         g = NGHOST
 
         self.states: dict[int, BlockState] = {}
@@ -247,15 +251,17 @@ class RTiModel:
         # (7) Outputs and double-buffer swap.
         self.time += dt
         self.step_count += 1
+        update_outputs = self.step_count % self.output_every == 0
         for bid, st in self.states.items():
-            self.outputs[bid].update(
-                st.z_new,
-                st.m_new,
-                st.n_new,
-                st.hz,
-                self.time,
-                dry_threshold=cfg.dry_threshold,
-            )
+            if update_outputs:
+                self.outputs[bid].update(
+                    st.z_new,
+                    st.m_new,
+                    st.n_new,
+                    st.hz,
+                    self.time,
+                    dry_threshold=cfg.dry_threshold,
+                )
             st.swap()
 
     def run(
@@ -263,13 +269,22 @@ class RTiModel:
         n_steps: int | None = None,
         callback: Callable[["RTiModel"], None] | None = None,
         callback_every: int = 0,
+        monitor=None,
     ) -> None:
-        """Integrate *n_steps* (default: ``config.n_steps``) steps."""
+        """Integrate *n_steps* (default: ``config.n_steps``) steps.
+
+        *monitor* is any object with ``after_step(model)`` — e.g. a
+        :class:`repro.resilience.HealthMonitor` — invoked after every
+        step; it may raise (typically
+        :class:`~repro.errors.NumericalError`) to abort the run.
+        """
         steps = self.config.n_steps if n_steps is None else n_steps
         if steps < 0:
             raise ConfigurationError("n_steps must be non-negative")
         for k in range(steps):
             self.step()
+            if monitor is not None:
+                monitor.after_step(self)
             if callback is not None and callback_every and (
                 (k + 1) % callback_every == 0
             ):

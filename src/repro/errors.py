@@ -31,6 +31,27 @@ class CommunicationError(ReproError):
     """Simulated-MPI misuse: mismatched sends/recvs, bad buffers, deadlock."""
 
 
+class CommTimeoutError(CommunicationError):
+    """A simulated communication operation exceeded its timeout.
+
+    Raised by :meth:`repro.par.comm.Request.wait` and
+    :meth:`repro.par.comm.Communicator.recv` when no matching message
+    arrives within the communicator's timeout.  Distinct from plain
+    :class:`CommunicationError` (protocol misuse) so callers — notably the
+    resilience layer's retry-with-backoff — can tell a transient stall
+    from a programming error.
+
+    Attributes
+    ----------
+    failed_rank:
+        Rank on which the timeout fired, when known (else ``None``).
+    """
+
+    def __init__(self, message: str, failed_rank: int | None = None) -> None:
+        super().__init__(message)
+        self.failed_rank = failed_rank
+
+
 class PlatformError(ReproError):
     """Unknown platform or inconsistent hardware model parameters."""
 
@@ -41,3 +62,23 @@ class ConfigurationError(ReproError):
 
 class ValidationError(ReproError):
     """A numerical validation check failed."""
+
+
+class NumericalError(ReproError):
+    """The solution state is numerically unusable.
+
+    Raised by the resilience health monitor when a per-step check fails:
+    NaN/Inf contamination of a prognostic field, a blow-up past the
+    plausible water-level bound, a violated CFL margin, or excessive
+    mass-conservation drift.  The recovery engine treats it as a signal
+    to roll back to the last good checkpoint.
+    """
+
+
+class DeadlineError(ReproError):
+    """The operational deadline cannot be met or is invalid.
+
+    Raised when a deadline supervisor is constructed with a non-positive
+    budget, or when even the most aggressive graceful-degradation policy
+    cannot produce any forecast before the deadline.
+    """

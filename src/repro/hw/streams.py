@@ -100,6 +100,11 @@ class StreamSimulator:
         Launch strategy.
     bw_scale:
         Bandwidth rescale (CPU cache model hook).
+    slowdown:
+        Uniform execution slowdown (>= 1 degrades, < 1 speeds up) applied
+        to kernel fixed time and attainable bandwidth — the fault
+        injection hook used to model straggler ranks (thermally
+        throttled device, contended node).
     """
 
     def __init__(
@@ -109,13 +114,17 @@ class StreamSimulator:
         mode: LaunchMode = LaunchMode.ASYNC,
         bw_scale: float = 1.0,
         traffic_multiplier: float | None = None,
+        slowdown: float = 1.0,
     ) -> None:
         if n_queues < 1:
             raise PlatformError("n_queues must be >= 1")
+        if slowdown <= 0:
+            raise PlatformError("slowdown must be positive")
         self.platform = platform
         self.n_queues = n_queues
         self.mode = mode
         self.bw_scale = bw_scale
+        self.slowdown = slowdown
         # Production runs stream the code's full temporary traffic;
         # microbenchmarks on a cache-resident block pass 1.0.
         self.traffic_multiplier = (
@@ -156,30 +165,37 @@ class StreamSimulator:
 
     def _run_sync(self, kernels: list[KernelInvocation]) -> StreamResult:
         p = self.platform
-        solo_bw = p.solo_bw_gbs * self.bw_scale
+        fixed_us = p.kernel_fixed_us * self.slowdown
         t = 0.0
         events = []
         busy = 0.0
         bw_int = 0.0
         for k in kernels:
             t_launch = t + p.launch_overhead_us
-            k_bw = p.effective_bw_gbs * self.bw_scale * self._solo_fraction(k)
+            k_bw = (
+                p.effective_bw_gbs
+                * self.bw_scale
+                * self._solo_fraction(k)
+                / self.slowdown
+            )
             xfer = 1e-3 * self._bytes(k) / k_bw
-            end = t_launch + p.kernel_fixed_us + xfer
+            end = t_launch + fixed_us + xfer
             events.append(
                 KernelEvent(
                     k.label, k.routine, 0, t, t_launch, end, k.bytes_moved
                 )
             )
             busy += end - t_launch
-            bw_int += xfer * (k_bw / (p.effective_bw_gbs * self.bw_scale))
+            bw_int += xfer * (
+                k_bw * self.slowdown / (p.effective_bw_gbs * self.bw_scale)
+            )
             t = end
         return StreamResult(events, t, t, busy, bw_int)
 
     def _run_async(self, kernels: list[KernelInvocation]) -> StreamResult:
         p = self.platform
-        solo_bw = p.solo_bw_gbs * self.bw_scale
-        full_bw = p.effective_bw_gbs * self.bw_scale
+        full_bw = p.effective_bw_gbs * self.bw_scale / self.slowdown
+        fixed_us = p.kernel_fixed_us * self.slowdown
 
         # Host issues enqueues back-to-back; kernel k becomes available to
         # its queue (round-robin) at arrival[k].
@@ -215,7 +231,7 @@ class StreamSimulator:
                         q,
                         arr,
                         now,
-                        p.kernel_fixed_us,
+                        fixed_us,
                         self._bytes(k),
                         full_bw * frac,
                     )

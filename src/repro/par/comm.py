@@ -9,6 +9,17 @@ impossible.
 This is a *correctness* substrate: it runs the same pack/exchange/unpack
 code paths as a distributed run so they can be tested; timing comes from
 the separate cost model in :mod:`repro.par.timing`.
+
+Failure semantics (the operational-resilience contract):
+
+* a rank that raises is recorded in ``_World.errors`` *with its rank id*
+  and every sibling mailbox is poisoned, so ranks blocked in ``recv``
+  fail immediately with a message naming the dead rank instead of dying
+  on an opaque timeout;
+* timeouts are configurable per :class:`Communicator` and raise
+  :class:`~repro.errors.CommTimeoutError` (a
+  :class:`~repro.errors.CommunicationError` subclass), so callers can
+  distinguish a transient stall from protocol misuse.
 """
 
 from __future__ import annotations
@@ -20,10 +31,20 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.errors import CommunicationError
+from repro.errors import CommTimeoutError, CommunicationError
 
 #: Wildcard source, as in MPI.
 ANY_SOURCE = -1
+
+#: Default timeout [s] for blocking operations (deadlock guard).
+DEFAULT_TIMEOUT = 30.0
+
+#: Sentinel payload delivered to every mailbox when a rank dies.
+_POISON = object()
+
+#: Sentinel distinguishing "use the communicator default" from an explicit
+#: ``None`` (= wait forever).
+_UNSET = object()
 
 
 @dataclass
@@ -32,10 +53,28 @@ class Request:
 
     _done: threading.Event
     _value: list = field(default_factory=lambda: [None])
+    _error: list = field(default_factory=lambda: [None])
+    _default_timeout: float | None = DEFAULT_TIMEOUT
+    _rank: int | None = None
 
-    def wait(self, timeout: float | None = 30.0):
+    def wait(self, timeout: float | None = _UNSET):
+        """Block until the operation completes; return its value.
+
+        *timeout* defaults to the owning communicator's timeout (set at
+        :class:`Communicator` construction); pass ``None`` to wait
+        forever.  Raises :class:`~repro.errors.CommTimeoutError` on
+        expiry and re-raises the worker's exception if the operation
+        itself failed.
+        """
+        if timeout is _UNSET:
+            timeout = self._default_timeout
         if not self._done.wait(timeout):
-            raise CommunicationError("request timed out (deadlock?)")
+            raise CommTimeoutError(
+                f"request timed out after {timeout}s (deadlock?)",
+                failed_rank=self._rank,
+            )
+        if self._error[0] is not None:
+            raise self._error[0]
         return self._value[0]
 
     def test(self) -> bool:
@@ -52,16 +91,49 @@ class _World:
         self.barrier = threading.Barrier(size)
         self.reduce_lock = threading.Lock()
         self.reduce_buf: list[Any] = []
-        self.errors: list[BaseException] = []
+        #: (rank, exception) pairs, in order of failure.
+        self.errors: list[tuple[int, BaseException]] = []
+        self._fail_lock = threading.Lock()
+
+    def fail(self, rank: int, exc: BaseException) -> None:
+        """Record a rank failure and wake every blocked sibling.
+
+        The barrier is broken (releasing collective waiters) and a poison
+        message naming the dead rank is delivered to every mailbox so
+        point-to-point receivers fail fast instead of timing out.
+        """
+        with self._fail_lock:
+            self.errors.append((rank, exc))
+        self.barrier.abort()
+        for dest in range(self.size):
+            if dest != rank:
+                self.mailboxes[dest].put((rank, 0, _POISON))
 
 
 class Communicator:
-    """Per-rank view of the world (mpi4py-like lowercase API)."""
+    """Per-rank view of the world (mpi4py-like lowercase API).
 
-    def __init__(self, world: _World, rank: int) -> None:
+    Parameters
+    ----------
+    world:
+        Shared transport state.
+    rank:
+        This communicator's rank id.
+    timeout:
+        Default timeout [s] for blocking operations (``recv``,
+        ``Request.wait``, ``barrier_sync``); ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        world: _World,
+        rank: int,
+        timeout: float | None = DEFAULT_TIMEOUT,
+    ) -> None:
         self._world = world
         self.rank = rank
         self.size = world.size
+        self.timeout = timeout
         # Out-of-order receives are stashed here until matched.
         self._stash: list[tuple[int, int, Any]] = []
 
@@ -75,9 +147,20 @@ class Communicator:
         self._world.mailboxes[dest].put((self.rank, tag, payload))
 
     def recv(
-        self, source: int = ANY_SOURCE, tag: int = 0, timeout: float = 30.0
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = 0,
+        timeout: float | None = _UNSET,
     ) -> Any:
-        """Blocking receive matching (source, tag)."""
+        """Blocking receive matching (source, tag).
+
+        *timeout* defaults to the communicator's timeout.  Raises
+        :class:`~repro.errors.CommTimeoutError` on expiry and
+        :class:`~repro.errors.CommunicationError` naming the dead rank if
+        a sibling rank failed while we were waiting.
+        """
+        if timeout is _UNSET:
+            timeout = self.timeout
         for idx, (src, tg, payload) in enumerate(self._stash):
             if (source in (ANY_SOURCE, src)) and tg == tag:
                 self._stash.pop(idx)
@@ -88,10 +171,20 @@ class Communicator:
                     timeout=timeout
                 )
             except queue.Empty:
-                raise CommunicationError(
+                raise CommTimeoutError(
                     f"rank {self.rank}: recv(source={source}, tag={tag}) "
-                    f"timed out — likely a deadlock or missing send"
+                    f"timed out after {timeout}s — likely a deadlock or "
+                    f"missing send",
+                    failed_rank=self.rank,
                 ) from None
+            if payload is _POISON:
+                # Re-deliver so other blocked receives on this rank (e.g.
+                # irecv workers) observe the failure too.
+                self._world.mailboxes[self.rank].put((src, tg, payload))
+                raise CommunicationError(
+                    f"rank {self.rank}: rank {src} failed while we were "
+                    f"waiting in recv(source={source}, tag={tag})"
+                )
             if (source in (ANY_SOURCE, src)) and tg == tag:
                 return payload
             self._stash.append((src, tg, payload))
@@ -101,18 +194,22 @@ class Communicator:
         self.send(obj, dest, tag)
         done = threading.Event()
         done.set()
-        return Request(done)
+        return Request(
+            done, _default_timeout=self.timeout, _rank=self.rank
+        )
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
         """Nonblocking receive; resolve with ``req.wait()``."""
         done = threading.Event()
-        req = Request(done)
+        req = Request(done, _default_timeout=self.timeout, _rank=self.rank)
 
         def _worker() -> None:
             try:
                 req._value[0] = self.recv(source, tag)
             except BaseException as exc:  # noqa: BLE001 - surfaced on wait
-                self._world.errors.append(exc)
+                req._error[0] = exc
+                with self._world._fail_lock:
+                    self._world.errors.append((self.rank, exc))
             finally:
                 done.set()
 
@@ -121,12 +218,17 @@ class Communicator:
 
     # -- collectives ----------------------------------------------------
 
-    def barrier_sync(self, timeout: float = 30.0) -> None:
+    def barrier_sync(self, timeout: float | None = _UNSET) -> None:
+        if timeout is _UNSET:
+            timeout = self.timeout
         try:
             self._world.barrier.wait(timeout)
         except threading.BrokenBarrierError:
+            dead = [r for r, _ in self._world.errors]
+            detail = f" (failed ranks: {dead})" if dead else ""
             raise CommunicationError(
-                f"rank {self.rank}: barrier broken (a rank died or timed out)"
+                f"rank {self.rank}: barrier broken (a rank died or timed "
+                f"out){detail}"
             ) from None
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None):
@@ -160,11 +262,25 @@ def run_ranks(
     n_ranks: int,
     fn: Callable[[Communicator], Any],
     timeout: float = 60.0,
+    comm_timeout: float | None = DEFAULT_TIMEOUT,
+    comm_wrap: Callable[[Communicator], Any] | None = None,
 ) -> list[Any]:
     """Execute *fn(comm)* on *n_ranks* threads; return per-rank results.
 
-    Raises :class:`CommunicationError` if any rank raises or the group
-    fails to finish before *timeout* (deadlock guard).
+    Parameters
+    ----------
+    timeout:
+        Wall-clock bound [s] on the whole group (deadlock guard).
+    comm_timeout:
+        Default timeout handed to every rank's :class:`Communicator`.
+    comm_wrap:
+        Optional decorator applied to each rank's communicator before it
+        is handed to *fn* — the hook the resilience layer uses to splice
+        fault injection into the transport.
+
+    If a rank raises, the first failure is re-raised in the caller with
+    ``failed_rank`` set to the offending rank id; sibling ranks are woken
+    via mailbox poisoning rather than left to time out.
     """
     if n_ranks < 1:
         raise CommunicationError("need at least one rank")
@@ -172,12 +288,13 @@ def run_ranks(
     results: list[Any] = [None] * n_ranks
 
     def _runner(rank: int) -> None:
-        comm = Communicator(world, rank)
+        comm = Communicator(world, rank, timeout=comm_timeout)
+        if comm_wrap is not None:
+            comm = comm_wrap(comm)
         try:
             results[rank] = fn(comm)
         except BaseException as exc:  # noqa: BLE001 - re-raised below
-            world.errors.append(exc)
-            world.barrier.abort()
+            world.fail(rank, exc)
 
     threads = [
         threading.Thread(target=_runner, args=(r,), daemon=True)
@@ -188,9 +305,17 @@ def run_ranks(
     for t in threads:
         t.join(timeout)
         if t.is_alive():
-            raise CommunicationError(
+            raise CommTimeoutError(
                 "simulated MPI run timed out — deadlock suspected"
             )
     if world.errors:
-        raise world.errors[0]
+        rank, exc = world.errors[0]
+        if getattr(exc, "failed_rank", None) is None:
+            try:
+                exc.failed_rank = rank
+            except AttributeError:
+                pass  # exceptions with __slots__: rank stays in the note
+        if hasattr(exc, "add_note"):
+            exc.add_note(f"raised on simulated MPI rank {rank}")
+        raise exc
     return results

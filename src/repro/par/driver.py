@@ -319,15 +319,31 @@ def run_distributed(
     source,
     n_steps: int,
     timeout: float = 300.0,
+    comm_timeout: float = 30.0,
+    fault_plan=None,
 ) -> dict[int, np.ndarray]:
     """Run the pipeline on ``decomp.n_ranks`` simulated MPI ranks.
 
     Returns the final water level (physical cells) of every block,
     gathered from all ranks.
+
+    *comm_timeout* bounds every blocking transport operation (and thus
+    how long a rank stalls on a lost message before raising
+    :class:`~repro.errors.CommTimeoutError`).  *fault_plan* is an
+    optional :class:`repro.resilience.FaultPlan` whose communication
+    faults (rank crashes, message drops/delays, stragglers) are injected
+    into each rank's transport — the chaos-testing surface of the
+    resilience layer.
     """
     from repro.fault.scenarios import initial_eta_for_block
 
     topo = _build_topology(grid, decomp, config)
+
+    comm_wrap = None
+    if fault_plan is not None:
+        from repro.resilience.inject import FaultyComm
+
+        comm_wrap = lambda comm: FaultyComm(comm, fault_plan)  # noqa: E731
 
     def rank_main(comm: Communicator) -> dict[int, np.ndarray]:
         rt = _RankRuntime(comm, grid, decomp, bathymetry, config, topo)
@@ -343,7 +359,13 @@ def run_distributed(
             rt.step()
         return {bid: st.eta_interior().copy() for bid, st in rt.states.items()}
 
-    results = run_ranks(decomp.n_ranks, rank_main, timeout=timeout)
+    results = run_ranks(
+        decomp.n_ranks,
+        rank_main,
+        timeout=timeout,
+        comm_timeout=comm_timeout,
+        comm_wrap=comm_wrap,
+    )
     merged: dict[int, np.ndarray] = {}
     for part in results:
         merged.update(part)

@@ -1,0 +1,71 @@
+"""Operational resilience layer for the RTi reproduction.
+
+The paper's value proposition is a *usable forecast within minutes of
+the earthquake*; this subsystem makes the reproduction honor that under
+failure.  It provides:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — seeded, declarative fault
+  injection (rank crashes, message drops/delays, stragglers, NaN
+  corruption) into the simulated MPI transport and the event-driven
+  hardware model;
+* :class:`HealthMonitor` — cheap per-step NaN/Inf, blow-up, CFL-margin
+  and mass-drift checks raising :class:`~repro.errors.NumericalError`;
+* :class:`CheckpointRing` — in-memory snapshots with bitwise-identical
+  restore, powering automatic rollback + timestep halving;
+* :class:`DeadlineSupervisor` — deadline-aware graceful degradation
+  (drop the finest nest level, coarsen output cadence, finish early),
+  every action recorded in the run report;
+* :class:`RecoveryEngine` / :func:`run_resilient_forecast` — the
+  resilient integration loop and its one-call orchestrator;
+* :func:`resilient_run_distributed` — retry-with-backoff and
+  single-process fallback for the simulated-MPI pipeline.
+"""
+
+from repro.resilience.checkpoint import Checkpoint, CheckpointRing
+from repro.resilience.clock import SimulatedClock
+from repro.resilience.deadline import (
+    DEGRADATION_ORDER,
+    DeadlineSupervisor,
+    DegradationEvent,
+)
+from repro.resilience.faultplan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.resilience.forecast import run_resilient_forecast
+from repro.resilience.health import HealthMonitor
+from repro.resilience.inject import (
+    FaultyComm,
+    RankCrashError,
+    corrupt_state,
+    nonfinite_blocks,
+)
+from repro.resilience.recovery import (
+    RecoveryEngine,
+    RecoveryEvent,
+    drop_finest_level,
+    resilient_run_distributed,
+    retry_with_backoff,
+)
+from repro.resilience.report import ForecastReport
+
+__all__ = [
+    "FAULT_KINDS",
+    "DEGRADATION_ORDER",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyComm",
+    "RankCrashError",
+    "corrupt_state",
+    "nonfinite_blocks",
+    "HealthMonitor",
+    "Checkpoint",
+    "CheckpointRing",
+    "SimulatedClock",
+    "DeadlineSupervisor",
+    "DegradationEvent",
+    "RecoveryEngine",
+    "RecoveryEvent",
+    "drop_finest_level",
+    "resilient_run_distributed",
+    "retry_with_backoff",
+    "run_resilient_forecast",
+    "ForecastReport",
+]

@@ -1,0 +1,144 @@
+"""In-memory checkpoint ring for the coupled model.
+
+A :class:`CheckpointRing` keeps the last *capacity* deep snapshots of an
+:class:`~repro.core.model.RTiModel`'s complete prognostic state (both
+leap-frog buffers of every block, the buffer flip, the clock) plus the
+forecast-product accumulators.  Restoring a snapshot and re-running is
+**bitwise identical** to an uninterrupted run — the property the
+rollback recovery relies on and ``tests/test_resilience.py`` proves.
+
+Snapshots are validated on capture: a checkpoint of NaN-contaminated
+state would make rollback useless, so :meth:`CheckpointRing.snapshot`
+raises :class:`~repro.errors.NumericalError` instead of archiving
+corruption.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import NumericalError, ReproError
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One deep snapshot of model state (immutable once taken)."""
+
+    step: int
+    time: float
+    dt: float
+    output_every: int
+    n_levels: int
+    #: block_id -> (z0, z1, m0, m1, n0, n1, flip)
+    states: dict
+    #: block_id -> (zmax, vmax, inundation_max, arrival_time)
+    outputs: dict
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the snapshot arrays."""
+        return sum(
+            a.nbytes for bufs in self.states.values() for a in bufs[:6]
+        ) + sum(a.nbytes for accs in self.outputs.values() for a in accs)
+
+
+class CheckpointRing:
+    """Fixed-capacity ring of model snapshots (oldest evicted first)."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ReproError("checkpoint ring capacity must be >= 1")
+        self._ring: deque[Checkpoint] = deque(maxlen=capacity)
+        self.taken = 0
+        self.restored = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        return self._ring[-1] if self._ring else None
+
+    def clear(self) -> None:
+        """Drop all snapshots (after a degradation changed the grid)."""
+        self._ring.clear()
+
+    def snapshot(self, model, validate: bool = True) -> Checkpoint:
+        """Archive the model's current state; returns the checkpoint.
+
+        With *validate* (default), raises
+        :class:`~repro.errors.NumericalError` on non-finite state rather
+        than storing a poisoned snapshot.
+        """
+        states = {}
+        for bid, st in model.states.items():
+            bufs = (*st._z, *st._m, *st._n)
+            if validate and not all(np.isfinite(a).all() for a in bufs):
+                raise NumericalError(
+                    f"refusing to checkpoint non-finite state "
+                    f"(block {bid}, step {model.step_count})"
+                )
+            states[bid] = (*(a.copy() for a in bufs), st._flip)
+        outputs = {
+            bid: (
+                acc.zmax.copy(),
+                acc.vmax.copy(),
+                acc.inundation_max.copy(),
+                acc.arrival_time.copy(),
+            )
+            for bid, acc in model.outputs.items()
+        }
+        ckpt = Checkpoint(
+            step=model.step_count,
+            time=model.time,
+            dt=model.config.dt,
+            output_every=model.output_every,
+            n_levels=model.grid.n_levels,
+            states=states,
+            outputs=outputs,
+        )
+        self._ring.append(ckpt)
+        self.taken += 1
+        return ckpt
+
+    def restore(self, model, ckpt: Checkpoint | None = None) -> Checkpoint:
+        """Rewind *model* to *ckpt* (default: the latest snapshot).
+
+        The model must have the same block set as the snapshot (rollback
+        never crosses a grid degradation — the engine clears the ring
+        when it drops a level).
+        """
+        if ckpt is None:
+            ckpt = self.latest
+        if ckpt is None:
+            raise ReproError("no checkpoint to restore")
+        if set(ckpt.states) != set(model.states):
+            raise ReproError(
+                "checkpoint block set does not match the model "
+                "(grid changed since the snapshot)"
+            )
+        for bid, st in model.states.items():
+            z0, z1, m0, m1, n0, n1, flip = ckpt.states[bid]
+            st._z[0][...] = z0
+            st._z[1][...] = z1
+            st._m[0][...] = m0
+            st._m[1][...] = m1
+            st._n[0][...] = n0
+            st._n[1][...] = n1
+            st._flip = flip
+        for bid, acc in model.outputs.items():
+            zmax, vmax, inund, arrival = ckpt.outputs[bid]
+            acc.zmax[...] = zmax
+            acc.vmax[...] = vmax
+            acc.inundation_max[...] = inund
+            acc.arrival_time[...] = arrival
+        model.time = ckpt.time
+        model.step_count = ckpt.step
+        model.output_every = ckpt.output_every
+        if model.config.dt != ckpt.dt:
+            model.config = replace(model.config, dt=ckpt.dt)
+        self.restored += 1
+        return ckpt

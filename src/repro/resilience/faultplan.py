@@ -1,0 +1,301 @@
+"""Seeded, declarative fault plans for chaos testing the forecast service.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultSpec` entries that
+deterministically injects failures into the two substrates the
+reproduction simulates — the in-process MPI transport
+(:mod:`repro.par.comm`) and the event-driven hardware model
+(:mod:`repro.hw.streams`) — plus NaN/Inf corruption of the numerical
+state.  Determinism is the point: a chaos scenario is fully described by
+``FaultPlan.random(seed)`` or a JSON file, so every hang, blow-up, or
+degradation is replayable.
+
+Fault kinds
+-----------
+``rank_crash``
+    Rank *rank* raises on its *op*-th transport send (the rank dies).
+``msg_drop``
+    Rank *rank*'s *op*-th send is silently swallowed; the receiver times
+    out with :class:`~repro.errors.CommTimeoutError`.
+``msg_delay``
+    Rank *rank*'s *op*-th send is stalled by *delay_s* seconds.
+``straggler``
+    Rank *rank* runs slowed by *factor* for *span* steps starting at
+    *step* (hardware-model surface) and stalls every send from op *op*
+    onward by *delay_s* (transport surface).
+``nan``
+    After model step *step*, *value* (NaN by default) is written into
+    field *field* of block *block* — a simulated silent kernel
+    corruption.
+
+File format (JSON)::
+
+    {
+      "seed": 7,
+      "faults": [
+        {"kind": "nan", "step": 12, "block": 0, "field": "z"},
+        {"kind": "rank_crash", "rank": 1, "op": 4},
+        {"kind": "msg_drop", "rank": 0, "op": 9},
+        {"kind": "msg_delay", "rank": 2, "op": 3, "delay_s": 0.05},
+        {"kind": "straggler", "rank": 1, "step": 20, "span": 40,
+         "factor": 4.0}
+      ]
+    }
+
+Unknown keys are rejected; one-shot faults (everything except
+``straggler``) fire at most once per plan, *including across retries* —
+a retry after a crash or drop therefore succeeds, which is exactly the
+transient-fault behaviour the recovery engine is built for.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import asdict, dataclass, field, fields
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("rank_crash", "msg_drop", "msg_delay", "straggler", "nan")
+
+#: Kinds injected into the simulated-MPI transport.
+COMM_KINDS = ("rank_crash", "msg_drop", "msg_delay", "straggler")
+
+#: Kinds injected into the numerical state.
+STATE_KINDS = ("nan",)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault (see module docstring for field semantics)."""
+
+    kind: str
+    rank: int | None = None
+    op: int | None = None
+    step: int | None = None
+    span: int = 30
+    block: int | None = None
+    field: str = "z"
+    value: float = math.nan
+    delay_s: float = 0.02
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.kind in COMM_KINDS and self.rank is None:
+            raise ConfigurationError(f"{self.kind} fault needs a rank")
+        if self.kind == "nan" and self.step is None:
+            raise ConfigurationError("nan fault needs a step")
+        if self.kind == "straggler" and self.factor < 1.0:
+            raise ConfigurationError("straggler factor must be >= 1")
+        if self.delay_s < 0:
+            raise ConfigurationError("delay_s must be non-negative")
+        if self.span < 1:
+            raise ConfigurationError("span must be >= 1")
+
+    def label(self) -> str:
+        """Compact human-readable identity used in run reports."""
+        parts = [self.kind]
+        if self.rank is not None:
+            parts.append(f"rank={self.rank}")
+        if self.op is not None:
+            parts.append(f"op={self.op}")
+        if self.step is not None:
+            parts.append(f"step={self.step}")
+        if self.kind == "straggler":
+            parts.append(f"x{self.factor:g}")
+        if self.kind == "nan":
+            parts.append(f"{self.field}[block {self.block}]")
+        return " ".join(parts)
+
+
+class FaultPlan:
+    """An ordered set of faults plus one-shot consumption bookkeeping.
+
+    The plan object is shared by every injector (all ranks' transports,
+    the recovery engine, the simulated clock), so consumption state must
+    be thread-safe: rank threads consult it concurrently.
+    """
+
+    def __init__(
+        self, faults: Iterable[FaultSpec] = (), seed: int | None = None
+    ) -> None:
+        self.faults: list[FaultSpec] = list(faults)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._consumed: set[int] = set()
+        self._triggered: set[int] = set()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        kinds: tuple[str, ...] = FAULT_KINDS,
+        n_faults: int = 3,
+        n_ranks: int = 4,
+        n_steps: int = 100,
+        n_blocks: int = 1,
+    ) -> "FaultPlan":
+        """A seeded random mix of faults sized for a given run shape."""
+        import random as _random
+
+        rng = _random.Random(seed)
+        out = []
+        for _ in range(max(0, n_faults)):
+            kind = rng.choice(list(kinds))
+            rank = rng.randrange(n_ranks)
+            if kind == "nan":
+                out.append(
+                    FaultSpec(
+                        kind="nan",
+                        step=rng.randrange(1, max(2, n_steps)),
+                        block=rng.randrange(n_blocks),
+                        field=rng.choice(("z", "m", "n")),
+                        value=rng.choice((math.nan, math.inf, -math.inf)),
+                    )
+                )
+            elif kind == "straggler":
+                out.append(
+                    FaultSpec(
+                        kind="straggler",
+                        rank=rank,
+                        op=rng.randrange(0, 20),
+                        step=rng.randrange(0, max(1, n_steps // 2)),
+                        span=rng.randrange(10, max(11, n_steps)),
+                        factor=rng.uniform(2.0, 8.0),
+                        delay_s=0.002,
+                    )
+                )
+            else:  # rank_crash / msg_drop / msg_delay
+                out.append(
+                    FaultSpec(
+                        kind=kind,
+                        rank=rank,
+                        op=rng.randrange(0, 12),
+                        delay_s=rng.uniform(0.005, 0.05),
+                    )
+                )
+        return cls(out, seed=seed)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [
+                {
+                    k: v
+                    for k, v in asdict(f).items()
+                    if v is not None and not (k == "value" and v != v)
+                }
+                for f in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {f.name for f in fields(FaultSpec)}
+        specs = []
+        for raw in data.get("faults", ()):
+            extra = set(raw) - known
+            if extra:
+                raise ConfigurationError(
+                    f"unknown fault-plan keys {sorted(extra)}"
+                )
+            specs.append(FaultSpec(**raw))
+        return cls(specs, seed=data.get("seed"))
+
+    def to_file(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    # -- matching / consumption -----------------------------------------
+
+    def _mark(self, idx: int, consume: bool) -> None:
+        with self._lock:
+            self._triggered.add(idx)
+            if consume:
+                self._consumed.add(idx)
+
+    def comm_action(self, rank: int, op: int) -> FaultSpec | None:
+        """Fault (if any) to apply to *rank*'s *op*-th send.
+
+        One-shot faults (crash/drop/delay) are consumed; stragglers keep
+        applying from their start op onward.
+        """
+        with self._lock:
+            candidates = [
+                (i, f)
+                for i, f in enumerate(self.faults)
+                if f.kind in COMM_KINDS
+                and f.rank == rank
+                and i not in self._consumed
+            ]
+        for i, f in candidates:
+            if f.kind == "straggler":
+                if f.op is not None and op >= f.op:
+                    self._mark(i, consume=False)
+                    return f
+            elif f.op == op:
+                self._mark(i, consume=True)
+                return f
+        return None
+
+    def state_faults_at(self, step: int) -> list[FaultSpec]:
+        """Unconsumed NaN-corruption faults scheduled for *step*."""
+        with self._lock:
+            hits = [
+                (i, f)
+                for i, f in enumerate(self.faults)
+                if f.kind == "nan"
+                and f.step == step
+                and i not in self._consumed
+            ]
+        for i, _f in hits:
+            self._mark(i, consume=True)
+        return [f for _i, f in hits]
+
+    def straggler_factor(self, step: int) -> float:
+        """Combined hardware slowdown active at model step *step*."""
+        factor = 1.0
+        for i, f in enumerate(self.faults):
+            if f.kind != "straggler":
+                continue
+            start = f.step if f.step is not None else 0
+            if start <= step < start + f.span:
+                factor *= f.factor
+                self._mark(i, consume=False)
+        return factor
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def triggered(self) -> list[FaultSpec]:
+        """Faults that actually fired, in plan order."""
+        with self._lock:
+            return [self.faults[i] for i in sorted(self._triggered)]
+
+    def triggered_labels(self) -> list[str]:
+        return [f.label() for f in self.triggered]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, faults="
+            f"{[f.label() for f in self.faults]})"
+        )

@@ -1,0 +1,113 @@
+"""Cheap per-step numerical health checks.
+
+The operational contract of a real-time forecaster is "never return
+garbage": a NaN that leaks into the max-water-level product is worse
+than a late forecast.  :class:`HealthMonitor` runs four O(cells) checks
+on a configurable cadence and raises
+:class:`~repro.errors.NumericalError` on the first violation, which the
+recovery engine converts into a rollback:
+
+1. **NaN/Inf scan** of every prognostic read buffer;
+2. **blow-up bound** — wet-cell water level beyond any physical tsunami;
+3. **CFL margin** — the current total depth (still water + surge) must
+   keep ``sqrt(2 g D) * dt / dx`` below 1 on every level;
+4. **mass-conservation drift** (optional; only meaningful in a closed
+   basin) — relative volume change against the first observation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import GRAVITY
+from repro.errors import NumericalError
+
+
+class HealthMonitor:
+    """Per-step state validation with a configurable cadence.
+
+    Parameters
+    ----------
+    every:
+        Check cadence in steps (1 = every step).
+    eta_limit:
+        Maximum plausible wet-cell water level [m].
+    cfl_limit:
+        Maximum allowed Courant number ``sqrt(2 g D_max) dt / dx``.
+    mass_tol:
+        Relative volume-drift tolerance, or ``None`` to disable the mass
+        check (open boundaries radiate volume out, so the check is only
+        meaningful for closed basins).
+    """
+
+    def __init__(
+        self,
+        every: int = 1,
+        eta_limit: float = 100.0,
+        cfl_limit: float = 1.0,
+        mass_tol: float | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError("cadence must be >= 1")
+        self.every = every
+        self.eta_limit = eta_limit
+        self.cfl_limit = cfl_limit
+        self.mass_tol = mass_tol
+        self._v0: float | None = None
+        self.checks_run = 0
+
+    def after_step(self, model) -> None:
+        """Cadence-gated hook for ``RTiModel.run`` / the recovery engine."""
+        if model.step_count % self.every == 0:
+            self.check(model)
+
+    def reset_baseline(self) -> None:
+        """Forget the mass baseline (after a degradation rebuilt the model)."""
+        self._v0 = None
+
+    def check(self, model) -> None:
+        """Run all checks now; raise :class:`NumericalError` on failure."""
+        self.checks_run += 1
+        dt = model.config.dt
+        for bid, st in model.states.items():
+            for name, arr in (
+                ("z", st.z_old),
+                ("m", st.m_old),
+                ("n", st.n_old),
+            ):
+                if not np.isfinite(arr).all():
+                    raise NumericalError(
+                        f"step {model.step_count}: non-finite values in "
+                        f"field {name} of block {bid}"
+                    )
+            depth = st.total_depth()
+            wet = depth > model.config.dry_threshold
+            if wet.any():
+                eta_max = float(np.abs(st.eta_interior()[wet]).max())
+                if eta_max > self.eta_limit:
+                    raise NumericalError(
+                        f"step {model.step_count}: water level blow-up in "
+                        f"block {bid}: |eta| = {eta_max:.1f} m > "
+                        f"{self.eta_limit:.1f} m"
+                    )
+                d_max = float(depth[wet].max())
+                courant = math.sqrt(2.0 * GRAVITY * d_max) * dt / st.dx
+                if courant > self.cfl_limit:
+                    raise NumericalError(
+                        f"step {model.step_count}: CFL margin violated in "
+                        f"block {bid}: Courant number {courant:.3f} > "
+                        f"{self.cfl_limit:.3f} (D_max = {d_max:.1f} m)"
+                    )
+        if self.mass_tol is not None:
+            vol = model.total_volume()
+            if self._v0 is None:
+                self._v0 = vol
+            elif self._v0 > 0:
+                drift = abs(vol - self._v0) / self._v0
+                if drift > self.mass_tol:
+                    raise NumericalError(
+                        f"step {model.step_count}: mass-conservation "
+                        f"drift {drift:.2%} exceeds {self.mass_tol:.2%}"
+                    )

@@ -1,0 +1,121 @@
+"""Fault injectors: transport decorator and state corruption.
+
+Two injection surfaces mirror the two simulated substrates:
+
+* :class:`FaultyComm` wraps a :class:`repro.par.comm.Communicator` and
+  applies a :class:`~repro.resilience.faultplan.FaultPlan`'s
+  communication faults to the send path (crash, drop, delay,
+  straggler stall).  It is spliced in via ``run_ranks(comm_wrap=...)``
+  by :func:`repro.par.driver.run_distributed`.
+* :func:`corrupt_state` writes NaN/Inf into a block's prognostic fields,
+  simulating a silent kernel corruption the health monitor must catch.
+
+The third surface — straggler slowdown of the event-driven hardware
+model — is ``StreamSimulator(slowdown=...)`` in :mod:`repro.hw.streams`,
+driven through the simulated clock (:mod:`repro.resilience.clock`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.resilience.faultplan import FaultPlan, FaultSpec
+
+
+class RankCrashError(CommunicationError):
+    """An injected rank crash (the simulated process died).
+
+    Subclasses :class:`~repro.errors.CommunicationError` so the recovery
+    engine's retry path treats a dead rank like any other transport
+    failure.
+    """
+
+    def __init__(self, message: str, failed_rank: int | None = None) -> None:
+        super().__init__(message)
+        self.failed_rank = failed_rank
+
+
+class FaultyComm:
+    """Transport decorator applying a fault plan to one rank's sends.
+
+    Delegates every operation to the wrapped communicator; only ``send``
+    (and through it ``isend`` and the collectives) consults the plan.
+    Receive-side behaviour needs no injection: a dropped message *is* a
+    receiver timeout.
+    """
+
+    def __init__(self, comm, plan: FaultPlan) -> None:
+        self._comm = comm
+        self._plan = plan
+        self._op = 0
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    @property
+    def timeout(self):
+        return self._comm.timeout
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        op = self._op
+        self._op += 1
+        spec = self._plan.comm_action(self.rank, op)
+        if spec is not None:
+            if spec.kind == "rank_crash":
+                raise RankCrashError(
+                    f"injected crash of rank {self.rank} at send op {op}",
+                    failed_rank=self.rank,
+                )
+            if spec.kind == "msg_drop":
+                return  # swallowed: the receiver will time out
+            # msg_delay / straggler: stall, then deliver.
+            time.sleep(spec.delay_s)
+        self._comm.send(obj, dest, tag)
+
+    def __getattr__(self, name: str) -> Any:
+        # recv/isend/irecv/barrier_sync/allreduce/gather and anything
+        # else pass straight through (isend/gather call *our* send only
+        # when defined on the wrapped class with self=wrapped, so sends
+        # issued inside collectives are not double-counted — acceptable:
+        # the op counter tracks direct transport sends).
+        return getattr(self._comm, name)
+
+
+def corrupt_state(states: dict, spec: FaultSpec) -> int | None:
+    """Apply a ``nan`` fault to a dict of block states.
+
+    Writes ``spec.value`` into the centre of the *read* buffer of field
+    ``spec.field`` ("z", "m" or "n") of block ``spec.block`` (or the
+    lowest block id if that block is absent).  Returns the corrupted
+    block id, or ``None`` if there was nothing to corrupt.
+    """
+    if not states:
+        return None
+    bid = spec.block if spec.block in states else min(states)
+    st = states[bid]
+    arr = {"z": st.z_old, "m": st.m_old, "n": st.n_old}[spec.field]
+    j, i = (s // 2 for s in arr.shape)
+    arr[j, i] = spec.value
+    return bid
+
+
+def nonfinite_blocks(states: dict) -> list[int]:
+    """Block ids whose prognostic read buffers contain NaN/Inf."""
+    bad = []
+    for bid, st in states.items():
+        if not (
+            np.isfinite(st.z_old).all()
+            and np.isfinite(st.m_old).all()
+            and np.isfinite(st.n_old).all()
+        ):
+            bad.append(bid)
+    return bad

@@ -1,0 +1,80 @@
+"""Run report of a resilient forecast: what was produced, at what cost.
+
+The operational contract is that a forecast is *always* produced; the
+report is where honesty lives — every degradation, rollback and injected
+fault that shaped the result is recorded, so a downstream consumer can
+tell a pristine forecast from a coarsened or shortened one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.deadline import DegradationEvent
+from repro.resilience.recovery import RecoveryEvent
+
+
+@dataclass
+class ForecastReport:
+    """Outcome of one resilient forecast run."""
+
+    status: str  # "complete" | "degraded"
+    horizon_s: float
+    achieved_s: float
+    deadline_s: float | None
+    elapsed_s: float | None  # simulated wall-clock spent computing
+    n_levels_initial: int
+    n_levels_final: int
+    output_every_final: int
+    dt_final: float
+    max_eta: float
+    max_speed: float
+    degradations: list[DegradationEvent] = field(default_factory=list)
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+    faults_triggered: list[str] = field(default_factory=list)
+    checkpoints_taken: int = 0
+    rollbacks: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete"
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == "degraded"
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"forecast status : {self.status.upper()}",
+            f"horizon         : {self.achieved_s:.1f}s of "
+            f"{self.horizon_s:.1f}s simulated",
+        ]
+        if self.deadline_s is not None:
+            lines.append(
+                f"deadline        : {self.elapsed_s:.1f}s used of "
+                f"{self.deadline_s:.1f}s budget"
+            )
+        lines.append(
+            f"fidelity        : {self.n_levels_final}/"
+            f"{self.n_levels_initial} grid levels, output every "
+            f"{self.output_every_final} step(s), dt={self.dt_final:g}s"
+        )
+        lines.append(
+            f"products        : max eta {self.max_eta:.2f} m, "
+            f"max speed {self.max_speed:.2f} m/s"
+        )
+        lines.append(
+            f"recovery        : {self.checkpoints_taken} checkpoints, "
+            f"{self.rollbacks} rollbacks"
+        )
+        if self.faults_triggered:
+            lines.append("faults triggered:")
+            lines.extend(f"  - {label}" for label in self.faults_triggered)
+        if self.degradations:
+            lines.append("degradations:")
+            lines.extend(f"  - {ev}" for ev in self.degradations)
+        if self.recoveries:
+            lines.append("recovery events:")
+            lines.extend(f"  - {ev}" for ev in self.recoveries)
+        return "\n".join(lines)

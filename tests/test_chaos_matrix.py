@@ -1,0 +1,187 @@
+"""Chaos matrix: seeded fault scenarios against the resilience layer.
+
+The acceptance criterion for the resilience tentpole: across 20+ seeded
+random fault scenarios, **every** run either completes or degrades
+explicitly — zero hangs, zero unhandled exceptions — and the recorded
+degradations/recoveries are attributable to the injected faults.
+
+Two sweeps mirror the two injection surfaces:
+
+* the **forecast surface** (NaN corruption + hardware stragglers)
+  through :func:`run_resilient_forecast`, half of the scenarios under a
+  tight deadline;
+* the **transport surface** (rank crashes, message drops/delays)
+  through :func:`resilient_run_distributed`, which must return the
+  bitwise single-process answer no matter what the transport does.
+
+Marked ``slow``: run with ``pytest -m slow``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RTiModel, SimulationConfig
+from repro.fault import GaussianSource
+from repro.grid.block import Block
+from repro.grid.hierarchy import NestedGrid
+from repro.grid.level import GridLevel
+from repro.par.decomposition import equal_cell_assignment
+from repro.resilience import (
+    FaultPlan,
+    nonfinite_blocks,
+    resilient_run_distributed,
+    run_resilient_forecast,
+)
+from repro.validation import FlatBathymetry
+
+pytestmark = pytest.mark.slow
+
+HORIZON_S = 40.0
+N_STEPS_DIST = 10
+
+
+def nested_grid():
+    return NestedGrid(
+        [
+            GridLevel(index=1, dx=300.0, blocks=[Block(0, 1, 0, 0, 30, 30)]),
+            GridLevel(
+                index=2, dx=100.0, blocks=[Block(1, 2, 30, 30, 30, 30)]
+            ),
+        ]
+    )
+
+
+def flat_grid():
+    return NestedGrid(
+        [
+            GridLevel(
+                index=1,
+                dx=100.0,
+                blocks=[
+                    Block(0, 1, 0, 0, 24, 48),
+                    Block(1, 1, 24, 0, 24, 48),
+                ],
+            )
+        ]
+    )
+
+
+def source():
+    return GaussianSource(x0=4500.0, y0=4500.0, amplitude=1.0, sigma=1500.0)
+
+
+def config():
+    return SimulationConfig(dt=1.0, boundary="wall")
+
+
+# -- forecast surface: NaN corruption + stragglers (12 scenarios) --------
+
+FORECAST_SEEDS = list(range(12))
+
+
+@pytest.mark.parametrize("seed", FORECAST_SEEDS)
+def test_forecast_surface_chaos(seed):
+    plan = FaultPlan.random(
+        seed,
+        kinds=("nan", "straggler"),
+        n_faults=4,
+        n_ranks=1,
+        n_steps=int(HORIZON_S),
+        n_blocks=2,
+    )
+    deadline = 0.2 if seed % 2 else None  # half the matrix under pressure
+    report = run_resilient_forecast(
+        nested_grid(),
+        FlatBathymetry(50.0),
+        config=config(),
+        source=source(),
+        horizon_s=HORIZON_S,
+        fault_plan=plan,
+        deadline_s=deadline,
+    )
+
+    # Invariant 1: a report is always produced, complete or degraded.
+    assert report.status in ("complete", "degraded")
+    assert report.achieved_s <= HORIZON_S + 1e-9
+
+    # Invariant 2: no corruption leaks into the products.
+    assert nonfinite_blocks(report.model.states) == []
+    assert np.isfinite(report.max_eta)
+    assert np.isfinite(report.max_speed)
+
+    # Invariant 3: every recovery/degradation is attributable.
+    triggered = plan.triggered_labels()
+    if report.rollbacks:
+        assert any("nan" in lbl for lbl in triggered), (
+            f"rollbacks without a triggered nan fault: {triggered}"
+        )
+    if report.degradations:
+        assert deadline is not None, "degraded without a deadline"
+    if report.degraded:
+        assert (
+            report.degradations
+            or any(ev.kind == "recovery_abort" for ev in report.recoveries)
+            or report.achieved_s < HORIZON_S
+        )
+
+    # Invariant 4: the report is honest about fidelity.
+    if deadline is None:
+        assert report.n_levels_final == report.n_levels_initial
+
+
+# -- transport surface: crashes, drops, delays (8 scenarios) -------------
+
+DIST_SEEDS = list(range(100, 108))
+
+
+def reference_run():
+    model = RTiModel(flat_grid(), FlatBathymetry(50.0), config())
+    model.set_initial_condition(source())
+    model.run(N_STEPS_DIST)
+    return {
+        bid: st.eta_interior().copy() for bid, st in model.states.items()
+    }
+
+
+@pytest.mark.parametrize("seed", DIST_SEEDS)
+def test_transport_surface_chaos(seed):
+    grid = flat_grid()
+    plan = FaultPlan.random(
+        seed,
+        kinds=("rank_crash", "msg_drop", "msg_delay"),
+        n_faults=3,
+        n_ranks=2,
+        n_steps=N_STEPS_DIST,
+    )
+    decomp = equal_cell_assignment(grid, 2, split_blocks=False)
+    out, events = resilient_run_distributed(
+        grid,
+        FlatBathymetry(50.0),
+        config(),
+        decomp,
+        source(),
+        N_STEPS_DIST,
+        fault_plan=plan,
+        comm_timeout=0.8,
+        backoff_s=0.01,
+    )
+
+    # Invariant 1: the physics survives the transport chaos bitwise.
+    ref = reference_run()
+    assert out.keys() == ref.keys()
+    for bid in ref:
+        assert np.array_equal(out[bid], ref[bid]), f"block {bid} diverged"
+
+    # Invariant 2: recovery actions only in response to real faults.
+    kinds = [ev.kind for ev in events]
+    assert set(kinds) <= {"comm_retry", "fallback_single_process"}
+    if events:
+        assert any(
+            f.kind in ("rank_crash", "msg_drop") for f in plan.triggered
+        ), f"recovery events {kinds} without a fatal comm fault"
+    # Delays alone must not trigger retries.
+    fatal = [
+        f for f in plan.triggered if f.kind in ("rank_crash", "msg_drop")
+    ]
+    if not fatal:
+        assert kinds.count("fallback_single_process") == 0
