@@ -14,6 +14,12 @@ Commands
 ``balance``
     Run the Fig.-5 microbenchmark + Algorithm-1 separator optimization
     for a platform and report the improvement.
+``validate``
+    Preflight a scenario JSON (or a run directory) and print every
+    problem as an actionable finding — nothing is stepped.
+``resume``
+    Continue an interrupted ``forecast --rundir`` run from its newest
+    valid on-disk snapshot to a bitwise-identical final state.
 """
 
 from __future__ import annotations
@@ -60,6 +66,26 @@ def _print_products(model, grid) -> None:
     print(f"population exposed       : {report.population_exposed:.0f}")
 
 
+def _forecast_spec(args, mk) -> dict:
+    """The journalable scenario spec equivalent to the CLI arguments."""
+    if args.source == "gaussian":
+        source = {
+            "type": "gaussian",
+            "x0": 4_000.0,
+            "y0": 16_000.0,
+            "amplitude": args.amplitude,
+            "sigma": 2_500.0,
+        }
+    else:
+        source = {"type": "nankai", "magnitude_scale": args.amplitude / 2.0}
+    return {
+        "grid": "mini-kochi",
+        "dt": mk.dt,
+        "n_steps": int(args.minutes * 60 / mk.dt),
+        "source": source,
+    }
+
+
 def _cmd_forecast(args) -> int:
     from repro.core import RTiModel, SimulationConfig
     from repro.topo import build_mini_kochi
@@ -73,6 +99,35 @@ def _cmd_forecast(args) -> int:
         or args.faults is not None
         or args.fault_seed is not None
     )
+    if args.rundir is not None and not resilient:
+        from repro.errors import PersistError, ValidationError
+        from repro.persist import resume_run, start_run
+
+        try:
+            if args.resume:
+                model = resume_run(args.rundir, echo=print)
+            else:
+                model = start_run(
+                    args.rundir,
+                    _forecast_spec(args, mk),
+                    checkpoint_every=args.checkpoint_every,
+                    echo=print,
+                )
+        except KeyboardInterrupt:
+            print(
+                f"interrupted — continue later with: "
+                f"repro resume {args.rundir}"
+            )
+            return 130
+        except ValidationError as exc:
+            print(exc)
+            return 1
+        except PersistError as exc:
+            print(f"error: {exc}")
+            return 1
+        _print_products(model, mk.grid)
+        return 0
+
     if resilient:
         from repro.resilience import FaultPlan, run_resilient_forecast
 
@@ -86,13 +141,18 @@ def _cmd_forecast(args) -> int:
                 n_faults=args.fault_count, n_ranks=1,
                 n_steps=max(steps, 1), n_blocks=n_blocks,
             )
+        store = None
+        if args.rundir is not None:
+            from repro.persist import RunStore
+
+            store = RunStore(args.rundir)
         print(f"Integrating {steps} steps ({args.minutes} simulated "
               f"minutes) with resilience enabled...")
         report = run_resilient_forecast(
             mk.grid, mk.bathymetry,
             config=SimulationConfig(dt=mk.dt), source=source,
             horizon_s=args.minutes * 60, deadline_s=args.deadline,
-            fault_plan=plan,
+            fault_plan=plan, store=store,
         )
         print(report.summary())
         _print_products(report.model, mk.grid)
@@ -167,6 +227,51 @@ def _cmd_balance(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    import os
+
+    from repro.errors import PersistError
+    from repro.persist import load_scenario, validate_rundir, validate_scenario
+    from repro.persist.store import RunStore
+
+    target = args.target
+    if os.path.isdir(target):
+        looks_like_rundir = os.path.exists(
+            os.path.join(target, RunStore.JOURNAL_NAME)
+        ) or os.path.isdir(os.path.join(target, RunStore.SNAPSHOT_DIR))
+        if not looks_like_rundir:
+            print(f"error: {target} is a directory but not a run directory")
+            return 2
+        report = validate_rundir(target)
+    else:
+        try:
+            spec = load_scenario(target)
+        except PersistError as exc:
+            print(f"error: {exc}")
+            return 2
+        report = validate_scenario(spec, rundir=args.rundir)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_resume(args) -> int:
+    from repro.errors import PersistError
+    from repro.persist import resume_run
+
+    try:
+        model = resume_run(args.rundir, echo=print)
+    except KeyboardInterrupt:
+        print(
+            f"interrupted again — continue with: repro resume {args.rundir}"
+        )
+        return 130
+    except PersistError as exc:
+        print(f"error: {exc}")
+        return 1
+    _print_products(model, model.grid)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
                            "of reading one from --faults")
     p_fc.add_argument("--fault-count", type=int, default=3,
                       help="number of faults for --fault-seed plans")
+    p_fc.add_argument("--rundir", default=None, metavar="DIR",
+                      help="persist the run (journal, checkpoints, "
+                           "streamed products) into DIR; enables "
+                           "crash-safe restart via 'repro resume'")
+    p_fc.add_argument("--checkpoint-every", type=int, default=25,
+                      metavar="STEPS",
+                      help="on-disk checkpoint cadence for --rundir "
+                           "(default: 25 steps)")
+    p_fc.add_argument("--resume", action="store_true",
+                      help="resume the interrupted run in --rundir "
+                           "instead of starting fresh")
 
     p_sw = sub.add_parser("sweep", help="cross-platform runtime sweep")
     p_sw.add_argument("--sockets", type=int, nargs="+",
@@ -206,6 +322,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_bl.add_argument("--system", default="squid-gpu")
     p_bl.add_argument("--ranks", type=int, default=16)
 
+    p_va = sub.add_parser(
+        "validate",
+        help="preflight a scenario JSON or run directory (no stepping)",
+    )
+    p_va.add_argument("target",
+                      help="scenario .json file or run directory to screen")
+    p_va.add_argument("--rundir", default=None, metavar="DIR",
+                      help="additionally screen this run directory "
+                           "(journal/snapshot integrity)")
+
+    p_re = sub.add_parser(
+        "resume",
+        help="continue an interrupted forecast from its run directory",
+    )
+    p_re.add_argument("rundir", help="run directory of the interrupted run")
+
     return parser
 
 
@@ -216,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
         "forecast": _cmd_forecast,
         "sweep": _cmd_sweep,
         "balance": _cmd_balance,
+        "validate": _cmd_validate,
+        "resume": _cmd_resume,
     }[args.command](args)
 
 

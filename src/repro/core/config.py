@@ -81,3 +81,36 @@ class SimulationConfig:
             raise ConfigurationError("dry_threshold must be positive")
         if self.velocity_cap <= 0:
             raise ConfigurationError("velocity_cap must be positive")
+
+    # -- serialization (repro.persist journal round-trip) -----------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable image of the config (dtype by name)."""
+        return {
+            "dt": self.dt,
+            "n_steps": self.n_steps,
+            "manning": self.manning,
+            "nonlinear": self.nonlinear,
+            "boundary": self.boundary,
+            "restriction": self.restriction,
+            "restriction_width": self.restriction_width,
+            "dry_threshold": self.dry_threshold,
+            "velocity_cap": self.velocity_cap,
+            "dtype": np.dtype(self.dtype).name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict` (unknown keys rejected loudly)."""
+        kwargs = dict(data)
+        if "dtype" in kwargs:
+            try:
+                kwargs["dtype"] = np.dtype(kwargs["dtype"]).type
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"unknown dtype {kwargs['dtype']!r}"
+                ) from exc
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad config entry: {exc}") from exc

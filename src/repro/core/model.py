@@ -270,6 +270,8 @@ class RTiModel:
         callback: Callable[["RTiModel"], None] | None = None,
         callback_every: int = 0,
         monitor=None,
+        store=None,
+        checkpoint_every: int = 0,
     ) -> None:
         """Integrate *n_steps* (default: ``config.n_steps``) steps.
 
@@ -277,18 +279,55 @@ class RTiModel:
         :class:`repro.resilience.HealthMonitor` — invoked after every
         step; it may raise (typically
         :class:`~repro.errors.NumericalError`) to abort the run.
+
+        *store* is an optional :class:`repro.persist.RunStore`.  When
+        given, the loop spills a checksummed on-disk snapshot every
+        *checkpoint_every* steps (cadence on the absolute step count, so
+        a resumed run keeps the original alignment) and installs a
+        SIGTERM/SIGINT guard that captures one final snapshot and
+        journals the interruption before unwinding with
+        :class:`KeyboardInterrupt` — the run stays resumable via
+        ``repro resume``.
         """
         steps = self.config.n_steps if n_steps is None else n_steps
         if steps < 0:
             raise ConfigurationError("n_steps must be non-negative")
-        for k in range(steps):
-            self.step()
-            if monitor is not None:
-                monitor.after_step(self)
-            if callback is not None and callback_every and (
-                (k + 1) % callback_every == 0
-            ):
-                callback(self)
+
+        if store is None:
+            import contextlib
+
+            guard = contextlib.nullcontext()
+        else:
+            from repro.persist.signals import interrupt_guard
+
+            guard = interrupt_guard(
+                snapshot_fn=lambda: store.save_snapshot(self),
+                journal_fn=lambda sig, ok: store.record_event(
+                    "interrupted",
+                    signal=sig,
+                    step=self.step_count,
+                    time=self.time,
+                    snapshotted=ok,
+                ),
+            )
+        with guard:
+            for k in range(steps):
+                self.step()
+                if monitor is not None:
+                    monitor.after_step(self)
+                # Products stream before the checkpoint spill: a snapshot
+                # at step s then implies the product rows up to s are on
+                # disk (resume regenerates the tail either way).
+                if callback is not None and callback_every and (
+                    (k + 1) % callback_every == 0
+                ):
+                    callback(self)
+                if (
+                    store is not None
+                    and checkpoint_every
+                    and self.step_count % checkpoint_every == 0
+                ):
+                    store.save_snapshot(self)
 
     # ------------------------------------------------------------------
     # Diagnostics

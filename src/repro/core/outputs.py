@@ -119,3 +119,34 @@ class OutputAccumulator:
     def inundated_area(self, dx: float) -> float:
         """Area of land that got wet at any time [m^2]."""
         return float((self.inundation_max > 0.0).sum()) * dx * dx
+
+    # -- serialization (repro.persist) ------------------------------------
+
+    def product_arrays(self) -> dict[str, np.ndarray]:
+        """Every accumulator array (views) keyed for serialization.
+
+        Includes the reference surface ``z0ref`` and the land mask so a
+        restored accumulator continues arrival/inundation detection
+        bitwise even if the restorer never re-applies the source.
+        """
+        return {
+            "zmax": self.zmax,
+            "vmax": self.vmax,
+            "inundation_max": self.inundation_max,
+            "arrival_time": self.arrival_time,
+            "z0ref": self._z0,
+            "land": self._land,
+        }
+
+    def load_product_arrays(self, arrays: dict[str, np.ndarray]) -> None:
+        """Overwrite the accumulators bitwise from *arrays*."""
+        targets = self.product_arrays()
+        for key, dst in targets.items():
+            src = np.asarray(arrays[key])
+            if src.shape != dst.shape:
+                raise ValueError(
+                    f"block {self.block.block_id}: product {key!r} has shape "
+                    f"{src.shape}, expected {dst.shape}"
+                )
+        for key, dst in targets.items():
+            dst[...] = arrays[key]

@@ -158,3 +158,40 @@ class BlockState:
     def volume(self) -> float:
         """Water volume over the physical cells [m^3]."""
         return float(self.total_depth().sum()) * self.dx * self.dx
+
+    # -- serialization (repro.persist) ------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Both leap-frog copies of every prognostic buffer (views).
+
+        Keys are the stable serialization names used by the on-disk
+        snapshot format; pair with ``_flip`` to capture the full state.
+        """
+        return {
+            "z0": self._z[0],
+            "z1": self._z[1],
+            "m0": self._m[0],
+            "m1": self._m[1],
+            "n0": self._n[0],
+            "n1": self._n[1],
+        }
+
+    def load_state_arrays(self, arrays: dict[str, np.ndarray], flip: int) -> None:
+        """Overwrite the prognostic buffers bitwise from *arrays*.
+
+        Shapes and dtypes must match exactly — a mismatch means the
+        snapshot belongs to a different grid or configuration.
+        """
+        if flip not in (0, 1):
+            raise GridError(f"buffer flip must be 0 or 1, got {flip}")
+        targets = self.state_arrays()
+        for key, dst in targets.items():
+            src = np.asarray(arrays[key])
+            if src.shape != dst.shape or src.dtype != dst.dtype:
+                raise GridError(
+                    f"block {self.block.block_id}: buffer {key!r} has shape "
+                    f"{src.shape}/{src.dtype}, expected {dst.shape}/{dst.dtype}"
+                )
+        for key, dst in targets.items():
+            dst[...] = arrays[key]
+        self._flip = flip

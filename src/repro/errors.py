@@ -61,7 +61,25 @@ class ConfigurationError(ReproError):
 
 
 class ValidationError(ReproError):
-    """A numerical validation check failed."""
+    """A validation check failed (numerical or preflight).
+
+    Preflight validation (:mod:`repro.persist.preflight`) attaches the
+    complete list of :class:`~repro.persist.preflight.Finding` objects as
+    ``.findings`` so callers can report every problem with a scenario at
+    once instead of fixing them one re-run at a time.
+    """
+
+    def __init__(self, message: str, findings: list | None = None) -> None:
+        super().__init__(message)
+        self.findings = list(findings) if findings else []
+
+
+class PersistError(ReproError):
+    """On-disk run-store failure: unwritable run directory, corrupt or
+    torn snapshot, checksum mismatch, unreadable journal, or a snapshot
+    whose grid/decomposition fingerprint does not match the model it is
+    being restored into.
+    """
 
 
 class NumericalError(ReproError):

@@ -321,6 +321,7 @@ def run_distributed(
     timeout: float = 300.0,
     comm_timeout: float = 30.0,
     fault_plan=None,
+    store=None,
 ) -> dict[int, np.ndarray]:
     """Run the pipeline on ``decomp.n_ranks`` simulated MPI ranks.
 
@@ -334,6 +335,12 @@ def run_distributed(
     faults (rank crashes, message drops/delays, stragglers) are injected
     into each rank's transport — the chaos-testing surface of the
     resilience layer.
+
+    *store* (a :class:`repro.persist.RunStore`) makes the distributed
+    run observable and restart-aware: start/interruption/completion are
+    journaled write-ahead (SIGTERM/SIGINT are caught while the ranks
+    run), and the gathered final water level is published atomically
+    into the store's products directory.
     """
     from repro.fault.scenarios import initial_eta_for_block
 
@@ -359,14 +366,61 @@ def run_distributed(
             rt.step()
         return {bid: st.eta_interior().copy() for bid, st in rt.states.items()}
 
-    results = run_ranks(
-        decomp.n_ranks,
-        rank_main,
-        timeout=timeout,
-        comm_timeout=comm_timeout,
-        comm_wrap=comm_wrap,
-    )
+    if store is None:
+        import contextlib
+
+        guard = contextlib.nullcontext()
+    else:
+        from repro.persist.signals import interrupt_guard
+
+        store.record_event(
+            "distributed_start",
+            n_ranks=decomp.n_ranks,
+            n_steps=n_steps,
+            config=config.to_dict(),
+        )
+        guard = interrupt_guard(
+            journal_fn=lambda sig, _ok: store.record_event(
+                "interrupted", signal=sig, phase="distributed"
+            )
+        )
+    with guard:
+        results = run_ranks(
+            decomp.n_ranks,
+            rank_main,
+            timeout=timeout,
+            comm_timeout=comm_timeout,
+            comm_wrap=comm_wrap,
+        )
     merged: dict[int, np.ndarray] = {}
     for part in results:
         merged.update(part)
+    if store is not None:
+        _publish_distributed_eta(store, merged, n_steps)
     return merged
+
+
+def _publish_distributed_eta(store, eta_by_block, n_steps: int) -> None:
+    """Atomically write the gathered final eta into the store's products."""
+    import os
+
+    from repro.errors import PersistError
+
+    final = store.products_dir / f"distributed_eta_step_{n_steps:08d}.npz"
+    tmp = final.with_name(f".tmp-{final.name}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh, **{f"b{bid}": a for bid, a in eta_by_block.items()}
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise PersistError(
+            f"cannot publish distributed eta {final}: {exc}"
+        ) from exc
+    store.record_event(
+        "distributed_complete", n_steps=n_steps, product=final.name
+    )

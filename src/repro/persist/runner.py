@@ -1,0 +1,169 @@
+"""Persistent forecast driver: start, crash, resume.
+
+:func:`start_run` executes a scenario with durable state (journal,
+checkpoint spill, streamed products, signal capture).  :func:`resume_run`
+inspects a run directory, rebuilds the model from the journaled
+scenario, restores the newest *valid* snapshot (checksum-corrupt ones
+are skipped with a warning), rewinds the product streams to match, and
+integrates the remaining steps — producing a final state bitwise
+identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.model import RTiModel
+from repro.errors import PersistError
+from repro.persist.journal import JOURNAL_VERSION
+from repro.persist.preflight import validate_scenario
+from repro.persist.products import ProductStreamer
+from repro.persist.scenario import BuiltScenario, build_scenario
+from repro.persist.snapshot import SCHEMA_VERSION, grid_fingerprint, restore_snapshot
+from repro.persist.store import RunStore
+
+DEFAULT_CHECKPOINT_EVERY = 25
+
+
+def _noecho(_msg: str) -> None:
+    pass
+
+
+def _run_to_completion(
+    store: RunStore,
+    model: RTiModel,
+    built: BuiltScenario,
+    checkpoint_every: int,
+    eta_every: int,
+    echo,
+) -> RTiModel:
+    streamer = ProductStreamer(store, model, eta_every=eta_every)
+    streamer.sync_resume_point(model)
+    remaining = built.n_steps - model.step_count
+    if remaining > 0:
+        model.run(
+            remaining,
+            callback=streamer.after_step,
+            callback_every=1,
+            store=store,
+            checkpoint_every=checkpoint_every,
+        )
+    store.record_event(
+        "complete", step=model.step_count, time=model.time
+    )
+    echo(
+        f"run complete at step {model.step_count} "
+        f"(t={model.time:.1f} s) in {store.rundir}"
+    )
+    return model
+
+
+def start_run(
+    rundir: Path,
+    spec: dict,
+    *,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    eta_every: int = 0,
+    skip_preflight: bool = False,
+    echo=_noecho,
+) -> RTiModel:
+    """Run a scenario with full persistence in a fresh run directory.
+
+    The scenario is preflight-validated first (raising
+    :class:`~repro.errors.ValidationError` with all findings on any
+    error) and journaled in the ``run_start`` event, making the run
+    resumable without any out-of-band information.
+    """
+    if checkpoint_every < 1:
+        raise PersistError("checkpoint cadence must be >= 1 step")
+    if not skip_preflight:
+        validate_scenario(spec).raise_if_failed()
+    built = build_scenario(spec)
+    store = RunStore(rundir, create=True)
+    if store.status() != "empty":
+        raise PersistError(
+            f"{store.rundir} already holds a run "
+            f"({store.status()}); use resume_run or a fresh directory"
+        )
+    model = RTiModel(built.grid, built.bathymetry, built.config)
+    if built.source is not None:
+        model.set_initial_condition(built.source)
+    store.record_event(
+        "run_start",
+        journal_version=JOURNAL_VERSION,
+        schema_version=SCHEMA_VERSION,
+        scenario=built.spec,
+        n_steps=built.n_steps,
+        checkpoint_every=checkpoint_every,
+        eta_every=eta_every,
+        grid_fingerprint=grid_fingerprint(built.grid, built.config.dtype),
+    )
+    echo(
+        f"persistent run: {built.n_steps} steps, checkpoint every "
+        f"{checkpoint_every}, rundir {store.rundir}"
+    )
+    return _run_to_completion(
+        store, model, built, checkpoint_every, eta_every, echo
+    )
+
+
+def resume_run(rundir: Path, *, echo=_noecho) -> RTiModel:
+    """Resume an interrupted run to a bitwise-identical final state.
+
+    Raises :class:`~repro.errors.PersistError` if the directory holds no
+    resumable run (no journal, no ``run_start``, or already complete).
+    """
+    store = RunStore(rundir, create=False)
+    warning = store.journal_warning()
+    if warning:
+        echo(f"warning: {warning}")
+    start = store.first_event("run_start")
+    if start is None:
+        raise PersistError(
+            f"{store.rundir} holds no journaled run to resume"
+        )
+    if store.status() == "complete":
+        raise PersistError(f"run in {store.rundir} already completed")
+
+    spec = start.get("scenario")
+    if not isinstance(spec, dict):
+        raise PersistError(
+            f"run_start event in {store.rundir} carries no scenario spec"
+        )
+    built = build_scenario(spec)
+    n_steps = int(start.get("n_steps", built.n_steps))
+    built.n_steps = n_steps
+    checkpoint_every = int(
+        start.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY)
+    )
+    eta_every = int(start.get("eta_every", 0))
+
+    model = RTiModel(built.grid, built.bathymetry, built.config)
+    if built.source is not None:
+        model.set_initial_condition(built.source)
+    want = start.get("grid_fingerprint")
+    have = grid_fingerprint(built.grid, built.config.dtype)
+    if want is not None and want != have:
+        raise PersistError(
+            f"rebuilt grid fingerprint {have[:12]}… does not match the "
+            f"journaled run ({str(want)[:12]}…) — code or scenario drifted"
+        )
+
+    snap = store.latest_valid_snapshot(warn=lambda m: echo(f"warning: {m}"))
+    if snap is not None:
+        restore_snapshot(model, snap)
+        echo(
+            f"restored snapshot {snap.path.name} "
+            f"(step {snap.step}, t={snap.time:.1f} s)"
+        )
+    else:
+        echo("no valid snapshot found; restarting from step 0")
+    store.record_event(
+        "resume",
+        from_step=model.step_count,
+        from_time=model.time,
+        snapshot=snap.path.name if snap is not None else None,
+    )
+    return _run_to_completion(
+        store, model, built, checkpoint_every, eta_every, echo
+    )

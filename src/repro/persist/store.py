@@ -1,0 +1,157 @@
+"""The run directory: journal + snapshots + streamed products.
+
+Layout of one run directory::
+
+    <rundir>/
+        journal.jsonl          append-only event log (RunJournal)
+        snapshots/
+            ck_00001_step_00000010/   atomic snapshot directories
+                level_1.npz
+                ...
+                manifest.json
+            .tmp-…                    torn publication attempts (ignored)
+        products/
+            gauges.csv         incrementally streamed gauge series
+            eta/               periodic coarse water-level dumps
+
+Snapshot directories are sequence-numbered so a re-checkpoint of the
+same step (after a rollback) gets a fresh name; "newest" always means
+the highest sequence number.  :meth:`RunStore.latest_valid_snapshot`
+walks newest → oldest, checksum-verifying each candidate and skipping
+corrupt or torn ones with a warning — the fallback path the torn-write
+tests exercise.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import PersistError
+from repro.persist.journal import RunJournal, read_journal
+from repro.persist.snapshot import (
+    Snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+
+_SNAP_RE = re.compile(r"^ck_(\d+)_step_(\d+)$")
+
+
+class RunStore:
+    """Durable state of one forecast run, rooted at *rundir*."""
+
+    JOURNAL_NAME = "journal.jsonl"
+    SNAPSHOT_DIR = "snapshots"
+    PRODUCTS_DIR = "products"
+
+    def __init__(self, rundir: Path, create: bool = True) -> None:
+        self.rundir = Path(rundir)
+        if not self.rundir.exists():
+            if not create:
+                raise PersistError(f"run directory {self.rundir} does not exist")
+            try:
+                self.rundir.mkdir(parents=True)
+            except OSError as exc:
+                raise PersistError(
+                    f"cannot create run directory {self.rundir}: {exc}"
+                ) from exc
+        elif not self.rundir.is_dir():
+            raise PersistError(f"{self.rundir} exists and is not a directory")
+        self.snapshots_dir = self.rundir / self.SNAPSHOT_DIR
+        self.products_dir = self.rundir / self.PRODUCTS_DIR
+        if create:
+            self.snapshots_dir.mkdir(exist_ok=True)
+            self.products_dir.mkdir(exist_ok=True)
+        self.journal = RunJournal(self.rundir / self.JOURNAL_NAME)
+
+    # -- events ----------------------------------------------------------
+
+    def record_event(self, event: str, **fields) -> dict:
+        """Durably append one journal event."""
+        return self.journal.record(event, **fields)
+
+    def events(self) -> list[dict]:
+        return self.journal.events()
+
+    def first_event(self, name: str) -> dict | None:
+        for ev in self.events():
+            if ev.get("event") == name:
+                return ev
+        return None
+
+    def status(self) -> str:
+        """``"empty"`` | ``"incomplete"`` | ``"complete"``.
+
+        An ``incomplete`` run has a ``run_start`` but no ``complete``
+        event — either still running or interrupted; ``repro resume``
+        treats it as resumable.
+        """
+        events = self.events()
+        names = {ev.get("event") for ev in events}
+        if "run_start" not in names:
+            return "empty"
+        return "complete" if "complete" in names else "incomplete"
+
+    def journal_warning(self) -> str | None:
+        """The torn-tail warning for this journal, if any."""
+        try:
+            _, warning = read_journal(self.rundir / self.JOURNAL_NAME)
+        except FileNotFoundError:
+            return None
+        return warning
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot_paths(self) -> list[Path]:
+        """Published snapshot directories, oldest first (by sequence)."""
+        if not self.snapshots_dir.is_dir():
+            return []
+        found = []
+        for child in self.snapshots_dir.iterdir():
+            m = _SNAP_RE.match(child.name)
+            if m and child.is_dir():
+                found.append((int(m.group(1)), child))
+        return [path for _, path in sorted(found)]
+
+    def _next_seq(self) -> int:
+        paths = self.snapshot_paths()
+        if not paths:
+            return 1
+        return int(_SNAP_RE.match(paths[-1].name).group(1)) + 1
+
+    def save_snapshot(self, model, *, extra: dict | None = None) -> Path:
+        """Write a checksummed snapshot of *model* and journal it.
+
+        The journal records intent (``checkpoint_begin``) before the
+        write and the outcome (``checkpoint``) after the atomic publish,
+        so a reader can tell "never attempted" from "attempted and torn".
+        """
+        seq = self._next_seq()
+        name = f"ck_{seq:05d}_step_{model.step_count:08d}"
+        self.record_event(
+            "checkpoint_begin", step=model.step_count, snapshot=name
+        )
+        path = write_snapshot(model, self.snapshots_dir / name, extra=extra)
+        self.record_event(
+            "checkpoint",
+            step=model.step_count,
+            time=model.time,
+            snapshot=name,
+        )
+        return path
+
+    def latest_valid_snapshot(self, warn=None) -> Snapshot | None:
+        """Newest snapshot that passes full checksum verification.
+
+        Corrupt, torn, or schema-incompatible candidates are skipped
+        (reported via *warn*, a ``callable(str)``), falling back to the
+        next older one — or ``None`` if no valid snapshot exists.
+        """
+        for path in reversed(self.snapshot_paths()):
+            try:
+                return read_snapshot(path, verify=True)
+            except PersistError as exc:
+                if warn is not None:
+                    warn(f"skipping invalid snapshot {path.name}: {exc}")
+        return None

@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.errors import NumericalError, ReproError
+from repro.errors import NumericalError, PersistError, ReproError
 
 
 @dataclass(frozen=True)
@@ -46,14 +46,31 @@ class Checkpoint:
 
 
 class CheckpointRing:
-    """Fixed-capacity ring of model snapshots (oldest evicted first)."""
+    """Fixed-capacity ring of model snapshots (oldest evicted first).
 
-    def __init__(self, capacity: int = 4) -> None:
+    With a *store* (a :class:`repro.persist.RunStore`), the ring doubles
+    as the durable-persistence trigger: every *spill_every*-th in-memory
+    snapshot is also written to disk as a checksummed, atomically
+    published snapshot, so the rollback cadence of PR 1 and the
+    crash-restart cadence of ``repro resume`` share one policy.  Disk
+    failures during the spill raise
+    :class:`~repro.errors.PersistError`; the in-memory snapshot is kept
+    either way, so rollback keeps working on a full disk.
+    """
+
+    def __init__(
+        self, capacity: int = 4, store=None, spill_every: int = 1
+    ) -> None:
         if capacity < 1:
             raise ReproError("checkpoint ring capacity must be >= 1")
+        if spill_every < 1:
+            raise ReproError("checkpoint spill cadence must be >= 1")
         self._ring: deque[Checkpoint] = deque(maxlen=capacity)
+        self.store = store
+        self.spill_every = spill_every
         self.taken = 0
         self.restored = 0
+        self.spilled = 0
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -102,6 +119,17 @@ class CheckpointRing:
         )
         self._ring.append(ckpt)
         self.taken += 1
+        if self.store is not None and (self.taken - 1) % self.spill_every == 0:
+            try:
+                self.store.save_snapshot(model)
+            except PersistError:
+                raise
+            except (OSError, ValueError) as exc:
+                raise PersistError(
+                    f"checkpoint disk spill failed at step "
+                    f"{model.step_count}: {exc}"
+                ) from exc
+            self.spilled += 1
         return ckpt
 
     def restore(self, model, ckpt: Checkpoint | None = None) -> Checkpoint:

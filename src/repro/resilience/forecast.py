@@ -40,6 +40,8 @@ def run_resilient_forecast(
     mass_tol: float | None = None,
     min_levels: int = 1,
     max_rollbacks: int = 6,
+    store=None,
+    spill_every: int = 1,
 ) -> ForecastReport:
     """Run a forecast that always produces a (possibly degraded) report.
 
@@ -47,16 +49,30 @@ def run_resilient_forecast(
     :class:`~repro.resilience.recovery.RecoveryEngine`.  The returned
     report carries the final model as ``report.model`` for product
     post-processing (damage assessment, gauges).
+
+    *store* (a :class:`repro.persist.RunStore`) makes the run durable:
+    the checkpoint ring spills every *spill_every*-th snapshot to disk,
+    and every recovery/degradation action is journaled write-ahead.
     """
     config = config or SimulationConfig()
     model = RTiModel(grid, bathymetry, config)
     if source is not None:
         model.set_initial_condition(source)
 
+    if store is not None:
+        store.record_event(
+            "forecast_start",
+            horizon_s=horizon_s,
+            deadline_s=deadline_s,
+            platform=str(platform),
+            config=config.to_dict(),
+        )
     monitor = HealthMonitor(
         every=health_every, eta_limit=eta_limit, mass_tol=mass_tol
     )
-    ring = CheckpointRing(capacity=checkpoint_capacity)
+    ring = CheckpointRing(
+        capacity=checkpoint_capacity, store=store, spill_every=spill_every
+    )
     clock = SimulatedClock(platform=platform)
     supervisor = (
         DeadlineSupervisor(deadline_s) if deadline_s is not None else None
@@ -72,6 +88,7 @@ def run_resilient_forecast(
         checkpoint_every=checkpoint_every,
         max_rollbacks=max_rollbacks,
         min_levels=min_levels,
+        journal=store.record_event if store is not None else None,
     )
     final = engine.run()
 
@@ -102,4 +119,13 @@ def run_resilient_forecast(
         rollbacks=rollbacks,
     )
     report.model = final
+    if store is not None:
+        store.record_event(
+            "forecast_complete",
+            status=report.status,
+            achieved_s=final.time,
+            checkpoints_taken=ring.taken,
+            checkpoints_spilled=ring.spilled,
+            rollbacks=rollbacks,
+        )
     return report

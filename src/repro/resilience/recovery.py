@@ -127,6 +127,7 @@ class RecoveryEngine:
         dt_min: float | None = None,
         min_levels: int = 1,
         max_output_every: int = 8,
+        journal=None,
     ) -> None:
         if horizon_s <= 0:
             raise NumericalError("horizon must be positive")
@@ -149,6 +150,10 @@ class RecoveryEngine:
         self.min_levels = min_levels
         self.max_output_every = max_output_every
 
+        #: Optional ``callable(event_name, **fields)`` — typically
+        #: ``RunStore.record_event`` — receiving every recovery and
+        #: degradation action as it happens (write-ahead, not post-hoc).
+        self.journal = journal
         self.recoveries: list[RecoveryEvent] = []
         self.aborted = False
         self._rollbacks = 0
@@ -174,6 +179,13 @@ class RecoveryEngine:
         self.recoveries.append(
             RecoveryEvent(self.model.step_count, kind, detail)
         )
+        if self.journal is not None:
+            self.journal(
+                "recovery",
+                kind=kind,
+                step=self.model.step_count,
+                detail=detail,
+            )
 
     def _rollback(self, exc: NumericalError) -> None:
         self._rollbacks += 1
@@ -267,6 +279,13 @@ class RecoveryEngine:
                 deadline_s=sup.deadline_s,
             )
         )
+        if self.journal is not None:
+            self.journal(
+                "degradation",
+                action=action,
+                step=self.model.step_count,
+                detail=detail,
+            )
         return not (action == "finish_early" and self.horizon_s <= model.time)
 
     def _inject_state_faults(self) -> None:

@@ -1,0 +1,259 @@
+"""End-to-end kill-and-resume tests (repro.persist.runner).
+
+The tentpole guarantee: a forecast killed by SIGTERM mid-run and
+resumed with ``repro resume`` reaches a final state bitwise identical
+to an uninterrupted run — including the incrementally streamed gauge
+series — and a torn newest snapshot silently falls back to the
+previous valid one.
+"""
+
+import json
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import RTiModel
+from repro.errors import PersistError
+from repro.persist import (
+    JOURNAL_VERSION,
+    SCHEMA_VERSION,
+    ProductStreamer,
+    RunStore,
+    build_scenario,
+    grid_fingerprint,
+    resume_run,
+    start_run,
+)
+from tests.test_persist import (
+    assert_models_bitwise_equal,
+    tiny_model,
+)
+
+SPEC = {
+    "grid": {
+        "ratio": 3,
+        "levels": [
+            {"index": 1, "dx": 300.0, "blocks": [[0, 1, 0, 0, 12, 12]]},
+            {"index": 2, "dx": 100.0, "blocks": [[1, 2, 9, 9, 12, 12]]},
+        ],
+    },
+    "bathymetry": {"type": "flat", "depth": 50.0},
+    "dt": 1.0,
+    "n_steps": 30,
+    "source": {
+        "type": "gaussian",
+        "x0": 1_800.0,
+        "y0": 1_800.0,
+        "amplitude": 1.0,
+        "sigma": 600.0,
+    },
+}
+CHECKPOINT_EVERY = 5
+
+
+def run_until_killed(rundir, kill_at_step: int) -> RunStore:
+    """Start SPEC persistently and SIGTERM our own process mid-run.
+
+    Mirrors :func:`repro.persist.runner.start_run` exactly, but injects
+    the kill from the step callback; the installed interrupt guard
+    captures a final snapshot, journals the interruption, and unwinds
+    with :class:`KeyboardInterrupt` — the same crash surface a real
+    ``kill <pid>`` produces.
+    """
+    built = build_scenario(SPEC)
+    store = RunStore(rundir, create=True)
+    model = RTiModel(built.grid, built.bathymetry, built.config)
+    model.set_initial_condition(built.source)
+    store.record_event(
+        "run_start",
+        journal_version=JOURNAL_VERSION,
+        schema_version=SCHEMA_VERSION,
+        scenario=built.spec,
+        n_steps=built.n_steps,
+        checkpoint_every=CHECKPOINT_EVERY,
+        eta_every=0,
+        grid_fingerprint=grid_fingerprint(built.grid, built.config.dtype),
+    )
+    streamer = ProductStreamer(store, model)
+
+    def kill_switch(m):
+        streamer.after_step(m)
+        if m.step_count == kill_at_step:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    with pytest.raises(KeyboardInterrupt):
+        model.run(
+            built.n_steps,
+            callback=kill_switch,
+            callback_every=1,
+            store=store,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+    return store
+
+
+def reference_run() -> tuple[RTiModel, list[str]]:
+    """The uninterrupted ground truth: final model + gauge csv lines."""
+    built = build_scenario(SPEC)
+    model = RTiModel(built.grid, built.bathymetry, built.config)
+    model.set_initial_condition(built.source)
+
+    class _Sink:
+        def __init__(self):
+            import tempfile
+
+            self.dir = tempfile.mkdtemp()
+            self.store = RunStore(self.dir, create=True)
+
+    sink = _Sink()
+    streamer = ProductStreamer(sink.store, model)
+    model.run(built.n_steps, callback=streamer.after_step, callback_every=1)
+    lines = streamer.gauge_path.read_text().splitlines()
+    return model, lines
+
+
+class TestKillAndResume:
+    def test_sigterm_capture_then_resume_is_bitwise(self, tmp_path):
+        store = run_until_killed(tmp_path / "run", kill_at_step=17)
+
+        events = [ev["event"] for ev in store.events()]
+        assert "interrupted" in events
+        interrupted = store.first_event("interrupted")
+        assert interrupted["signal"] == "SIGTERM"
+        assert interrupted["snapshotted"] is True
+        assert store.status() == "incomplete"
+
+        resumed = resume_run(tmp_path / "run")
+        reference, ref_lines = reference_run()
+        assert_models_bitwise_equal(reference, resumed)
+
+        got_lines = (
+            store.products_dir / "gauges.csv"
+        ).read_text().splitlines()
+        assert got_lines == ref_lines
+        assert store.status() == "complete"
+
+    def test_resume_from_older_snapshot_without_signal_capture(self, tmp_path):
+        # A hard crash (SIGKILL, power loss) leaves no final snapshot —
+        # only the periodic ones.  Simulate by dropping the signal-capture
+        # snapshot and resuming from the last periodic checkpoint.
+        store = run_until_killed(tmp_path / "run", kill_at_step=17)
+        newest = store.snapshot_paths()[-1]
+        manifest = json.loads((newest / "manifest.json").read_text())
+        if manifest["step"] == 17:  # the signal-capture snapshot
+            import shutil
+
+            shutil.rmtree(newest)
+        resumed = resume_run(tmp_path / "run")
+        reference, ref_lines = reference_run()
+        assert_models_bitwise_equal(reference, resumed)
+        got = (store.products_dir / "gauges.csv").read_text().splitlines()
+        assert got == ref_lines
+
+    def test_torn_newest_snapshot_falls_back(self, tmp_path):
+        store = run_until_killed(tmp_path / "run", kill_at_step=17)
+        newest = store.snapshot_paths()[-1]
+        victim = newest / "level_2.npz"
+        victim.write_bytes(victim.read_bytes()[:100])  # torn write
+
+        warnings: list[str] = []
+        resumed = resume_run(tmp_path / "run", echo=warnings.append)
+        assert any(
+            "skipping invalid snapshot" in msg and newest.name in msg
+            for msg in warnings
+        )
+        reference, _ = reference_run()
+        assert_models_bitwise_equal(reference, resumed)
+
+    def test_all_snapshots_corrupt_restarts_from_zero(self, tmp_path):
+        store = run_until_killed(tmp_path / "run", kill_at_step=17)
+        for path in store.snapshot_paths():
+            (path / "manifest.json").write_text("garbage")
+        messages: list[str] = []
+        resumed = resume_run(tmp_path / "run", echo=messages.append)
+        assert any("restarting from step 0" in m for m in messages)
+        reference, _ = reference_run()
+        assert_models_bitwise_equal(reference, resumed)
+
+    def test_partial_products_survive_crash(self, tmp_path):
+        store = run_until_killed(tmp_path / "run", kill_at_step=17)
+        lines = (store.products_dir / "gauges.csv").read_text().splitlines()
+        assert lines[0].startswith("time,")
+        assert len(lines) == 1 + 17  # header + one row per completed step
+
+    def test_resume_requires_interrupted_run(self, tmp_path):
+        with pytest.raises(PersistError, match="does not exist"):
+            resume_run(tmp_path / "missing")
+        start_run(tmp_path / "done", SPEC, checkpoint_every=10)
+        with pytest.raises(PersistError, match="already completed"):
+            resume_run(tmp_path / "done")
+
+    def test_journal_records_full_lifecycle(self, tmp_path):
+        store = run_until_killed(tmp_path / "run", kill_at_step=17)
+        resume_run(tmp_path / "run")
+        events = [ev["event"] for ev in store.events()]
+        assert events[0] == "run_start"
+        assert "interrupted" in events
+        assert "resume" in events
+        assert events[-1] == "complete"
+        resume = store.first_event("resume")
+        assert resume["from_step"] in (15, 17)  # snapshot it restored
+
+
+class TestStartRun:
+    def test_start_run_completes_and_matches_reference(self, tmp_path):
+        model = start_run(tmp_path / "run", SPEC, checkpoint_every=10)
+        reference, ref_lines = reference_run()
+        assert_models_bitwise_equal(reference, model)
+        store = RunStore(tmp_path / "run", create=False)
+        got = (store.products_dir / "gauges.csv").read_text().splitlines()
+        assert got == ref_lines
+
+    def test_start_run_refuses_occupied_rundir(self, tmp_path):
+        start_run(tmp_path / "run", SPEC, checkpoint_every=10)
+        with pytest.raises(PersistError, match="already holds a run"):
+            start_run(tmp_path / "run", SPEC)
+
+    def test_eta_dumps_streamed_on_cadence(self, tmp_path):
+        start_run(
+            tmp_path / "run", SPEC, checkpoint_every=10, eta_every=10
+        )
+        eta_dir = tmp_path / "run" / "products" / "eta"
+        dumps = sorted(p.name for p in eta_dir.glob("eta_step_*.npz"))
+        assert dumps == [
+            "eta_step_00000010.npz",
+            "eta_step_00000020.npz",
+            "eta_step_00000030.npz",
+        ]
+        with np.load(eta_dir / dumps[0]) as npz:
+            assert float(npz["time"]) == pytest.approx(10.0)
+            assert "b0_eta" in npz
+
+
+class TestResumeCli:
+    def test_forecast_rundir_then_resume_command(self, tmp_path, capsys):
+        store = run_until_killed(tmp_path / "run", kill_at_step=17)
+        assert main(["resume", str(tmp_path / "run")]) == 0
+        out = capsys.readouterr().out
+        assert "restored snapshot" in out
+        assert "run complete" in out
+        assert "max water level" in out
+        assert store.status() == "complete"
+
+    def test_resume_command_reports_missing_run(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "missing")]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_forecast_resume_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["forecast", "--rundir", "d", "--resume",
+             "--checkpoint-every", "7"]
+        )
+        assert args.rundir == "d"
+        assert args.resume is True
+        assert args.checkpoint_every == 7
