@@ -20,6 +20,14 @@ Commands
 ``resume``
     Continue an interrupted ``forecast --rundir`` run from its newest
     valid on-disk snapshot to a bitwise-identical final state.
+``inspect``
+    Summarize a run directory from its telemetry (journal + trace +
+    metrics): phase breakdown, slowest spans, rank imbalance, ETA
+    accuracy.
+
+Global flags: ``--log-level`` / ``--log-json`` configure the structured
+logger; ``forecast --export-trace`` / ``--export-metrics`` arm the
+telemetry layer and drop Chrome-trace / metrics snapshots.
 """
 
 from __future__ import annotations
@@ -86,10 +94,54 @@ def _forecast_spec(args, mk) -> dict:
     }
 
 
+def _obs_setup(args) -> bool:
+    """Arm the telemetry layer when an ``--export-*`` flag was given."""
+    if args.export_trace is None and args.export_metrics is None:
+        return False
+    import repro.obs as obs
+
+    obs.reset()
+    obs.enable()
+    return True
+
+
+def _obs_export(args) -> None:
+    """Write the requested trace/metrics artifacts after a traced run."""
+    from pathlib import Path
+
+    import repro.obs as obs
+
+    base = Path(args.rundir) if args.rundir is not None else Path(".")
+    trace_path = None
+    if args.export_trace is not None:
+        trace_path = (
+            Path(args.export_trace) if args.export_trace
+            else base / "trace.json"
+        )
+        obs.write_chrome_trace(trace_path)
+        print(f"wrote Chrome trace: {trace_path} (load in ui.perfetto.dev)")
+    metrics_path = None
+    if args.export_metrics is not None:
+        metrics_path = (
+            Path(args.export_metrics) if args.export_metrics
+            else base / "metrics.json"
+        )
+        obs.get_registry().write_json(metrics_path)
+        print(f"wrote metrics snapshot: {metrics_path}")
+    if args.rundir is not None:
+        # A traced persistent run always leaves both artifacts in the
+        # rundir so `repro inspect` finds them.
+        if trace_path != base / "trace.json":
+            obs.write_chrome_trace(base / "trace.json")
+        if metrics_path != base / "metrics.json":
+            obs.get_registry().write_json(base / "metrics.json")
+
+
 def _cmd_forecast(args) -> int:
     from repro.core import RTiModel, SimulationConfig
     from repro.topo import build_mini_kochi
 
+    traced = _obs_setup(args)
     mk = build_mini_kochi()
     source = _make_source(args)
     steps = int(args.minutes * 60 / mk.dt)
@@ -126,6 +178,8 @@ def _cmd_forecast(args) -> int:
             print(f"error: {exc}")
             return 1
         _print_products(model, mk.grid)
+        if traced:
+            _obs_export(args)
         return 0
 
     if resilient:
@@ -156,6 +210,8 @@ def _cmd_forecast(args) -> int:
         )
         print(report.summary())
         _print_products(report.model, mk.grid)
+        if traced:
+            _obs_export(args)
         return 0
 
     model = RTiModel(mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt))
@@ -163,6 +219,8 @@ def _cmd_forecast(args) -> int:
     print(f"Integrating {steps} steps ({args.minutes} simulated minutes)...")
     model.run(steps)
     _print_products(model, mk.grid)
+    if traced:
+        _obs_export(args)
     return 0
 
 
@@ -272,11 +330,28 @@ def _cmd_resume(args) -> int:
     return 0
 
 
+def _cmd_inspect(args) -> int:
+    from repro.errors import PersistError
+    from repro.obs import inspect_rundir
+
+    try:
+        print(inspect_rundir(args.rundir, top_n=args.top))
+    except PersistError as exc:
+        print(f"error: {exc}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RTi-py: real-time tsunami simulator reproduction",
     )
+    parser.add_argument("--log-level", default="warning",
+                        choices=["debug", "info", "warning", "error"],
+                        help="structured-log threshold (default: warning)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured logs as JSONL on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("grid", help="print the Table-I Kochi grid")
@@ -310,6 +385,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_fc.add_argument("--resume", action="store_true",
                       help="resume the interrupted run in --rundir "
                            "instead of starting fresh")
+    p_fc.add_argument("--export-trace", nargs="?", const="", default=None,
+                      metavar="PATH",
+                      help="record phase/halo/checkpoint spans and write "
+                           "a Chrome trace-event JSON (default PATH: "
+                           "<rundir>/trace.json, else ./trace.json)")
+    p_fc.add_argument("--export-metrics", nargs="?", const="", default=None,
+                      metavar="PATH",
+                      help="collect metrics and write a metrics.json "
+                           "snapshot (default PATH: <rundir>/metrics.json, "
+                           "else ./metrics.json)")
 
     p_sw = sub.add_parser("sweep", help="cross-platform runtime sweep")
     p_sw.add_argument("--sockets", type=int, nargs="+",
@@ -338,11 +423,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_re.add_argument("rundir", help="run directory of the interrupted run")
 
+    p_in = sub.add_parser(
+        "inspect",
+        help="summarize a run directory from its telemetry artifacts",
+    )
+    p_in.add_argument("rundir", help="run directory to inspect")
+    p_in.add_argument("--top", type=int, default=10, metavar="N",
+                      help="number of slowest spans to list (default: 10)")
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.obs.log import configure as _configure_logging
+
+    _configure_logging(level=args.log_level, json_mode=args.log_json)
     return {
         "grid": _cmd_grid,
         "forecast": _cmd_forecast,
@@ -350,6 +446,7 @@ def main(argv: list[str] | None = None) -> int:
         "balance": _cmd_balance,
         "validate": _cmd_validate,
         "resume": _cmd_resume,
+        "inspect": _cmd_inspect,
     }[args.command](args)
 
 

@@ -40,6 +40,10 @@ from repro.grid.hierarchy import NestedGrid
 from repro.grid.staggered import NGHOST
 from repro.nesting.interp import child_boundary_segments, interpolate_fluxes
 from repro.nesting.restrict import restrict_eta
+from repro.obs.trace import get_tracer
+from repro.obs.trace import span as _span
+
+_TRACER = get_tracer()
 from repro.topo.bathymetry import ShelfBathymetry
 from repro.xchg.halo import exchange_halo
 
@@ -116,6 +120,16 @@ class RTiModel:
         self.outputs: dict[int, OutputAccumulator] = {}
         self._init_outputs()
 
+        # Telemetry (armed via repro.obs.enable()): metric handles are
+        # resolved lazily on the first observed step so a disabled run
+        # never touches the registry.
+        self._n_cells = sum(
+            st.block.nx * st.block.ny for st in self.states.values()
+        )
+        self._obs_metrics = None
+        self._obs_wall_s = 0.0
+        self._obs_steps = 0
+
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
@@ -157,112 +171,170 @@ class RTiModel:
         )
 
     def step(self) -> None:
-        """Advance the coupled model by one time step."""
+        """Advance the coupled model by one time step.
+
+        Every phase opens a :func:`repro.obs.trace.span` named after the
+        paper's routine (the ``BREAKDOWN_PHASES`` vocabulary), so a
+        traced run renders the same stacked-bar accounting as the
+        offline performance replay.  With tracing disabled (the
+        default) each span is a shared no-op — see the <5 % overhead
+        guard in ``tests/test_obs.py``.
+        """
         cfg = self.config
         dt = cfg.dt
+        obs_on = _TRACER.enabled
+        if obs_on:
+            import time as _time
+
+            _t0 = _time.perf_counter()
 
         # (1) NLMASS on every block.
-        for st in self.states.values():
-            nlmass(
-                st.z_old,
-                st.m_old,
-                st.n_old,
-                st.hz,
-                dt,
-                st.dx,
-                out=st.z_new,
-                dry_threshold=cfg.dry_threshold,
-            )
+        with _span("NLMASS"):
+            for st in self.states.values():
+                nlmass(
+                    st.z_old,
+                    st.m_old,
+                    st.n_old,
+                    st.hz,
+                    dt,
+                    st.dx,
+                    out=st.z_new,
+                    dry_threshold=cfg.dry_threshold,
+                )
 
         # (2) JNZ: child -> parent restriction, finest level first so a
         # multi-level cascade settles coarse levels last.
-        for lvl in reversed(self.grid.levels[1:]):
-            for blk in lvl.blocks:
-                child = self.states[blk.block_id]
-                for pid in self._parents[blk.block_id]:
-                    parent = self.states[pid]
-                    restrict_eta(
-                        parent.z_new,
-                        child.z_new,
-                        parent.block,
-                        child.block,
-                        mode=cfg.restriction,
-                        width=cfg.restriction_width,
-                        parent_h=parent.hz,
-                    )
+        with _span("JNZ", cat="comm"):
+            for lvl in reversed(self.grid.levels[1:]):
+                with _span("restrict", cat="comm", level=lvl.index):
+                    for blk in lvl.blocks:
+                        child = self.states[blk.block_id]
+                        for pid in self._parents[blk.block_id]:
+                            parent = self.states[pid]
+                            restrict_eta(
+                                parent.z_new,
+                                child.z_new,
+                                parent.block,
+                                child.block,
+                                mode=cfg.restriction,
+                                width=cfg.restriction_width,
+                                parent_h=parent.hz,
+                            )
 
         # (3) PTP_Z: ghost fill then halo exchange of the water level.
-        for bid, st in self.states.items():
-            fill_ghosts_zero_gradient(st.z_new, ("W", "E", "S", "N"))
-        for aid, bid in self._neighbor_pairs:
-            exchange_halo(self.states[aid], self.states[bid], "z")
+        with _span("PTP_Z", cat="comm"):
+            for bid, st in self.states.items():
+                fill_ghosts_zero_gradient(st.z_new, ("W", "E", "S", "N"))
+            for aid, bid in self._neighbor_pairs:
+                exchange_halo(self.states[aid], self.states[bid], "z")
 
         # (4) NLMNT2 on every block.
-        for st in self.states.values():
-            nlmnt2(
-                st.z_new,
-                st.m_old,
-                st.n_old,
-                st.hz,
-                dt,
-                st.dx,
-                cfg.manning,
-                out_m=st.m_new,
-                out_n=st.n_new,
-                nonlinear=cfg.nonlinear,
-                dry_threshold=cfg.dry_threshold,
-                velocity_cap=cfg.velocity_cap,
-            )
+        with _span("NLMNT2"):
+            for st in self.states.values():
+                nlmnt2(
+                    st.z_new,
+                    st.m_old,
+                    st.n_old,
+                    st.hz,
+                    dt,
+                    st.dx,
+                    cfg.manning,
+                    out_m=st.m_new,
+                    out_n=st.n_new,
+                    nonlinear=cfg.nonlinear,
+                    dry_threshold=cfg.dry_threshold,
+                    velocity_cap=cfg.velocity_cap,
+                )
 
         # (5) Boundary conditions: outer BC on level 1, JNQ elsewhere.
-        for blk in self._blocks_of_level(1):
-            st = self.states[blk.block_id]
-            sides = self._outer_sides(blk.block_id)
-            if not sides:
-                continue
-            if cfg.boundary == "open":
-                apply_open_boundary(st.z_new, st.m_new, st.n_new, st.hz, sides)
-            else:
-                apply_wall_boundary(st.m_new, st.n_new, sides)
-        for lvl in self.grid.levels[1:]:
-            for blk in lvl.blocks:
-                child = self.states[blk.block_id]
-                segs = self._segments[blk.block_id]
-                for pid in self._parents[blk.block_id]:
-                    parent = self.states[pid]
-                    interpolate_fluxes(
-                        parent.m_new,
-                        parent.n_new,
-                        child.m_new,
-                        child.n_new,
-                        parent.block,
-                        child.block,
-                        segs,
+        with _span("JNQ", cat="comm"):
+            for blk in self._blocks_of_level(1):
+                st = self.states[blk.block_id]
+                sides = self._outer_sides(blk.block_id)
+                if not sides:
+                    continue
+                if cfg.boundary == "open":
+                    apply_open_boundary(
+                        st.z_new, st.m_new, st.n_new, st.hz, sides
                     )
+                else:
+                    apply_wall_boundary(st.m_new, st.n_new, sides)
+            for lvl in self.grid.levels[1:]:
+                with _span("interp", cat="comm", level=lvl.index):
+                    for blk in lvl.blocks:
+                        child = self.states[blk.block_id]
+                        segs = self._segments[blk.block_id]
+                        for pid in self._parents[blk.block_id]:
+                            parent = self.states[pid]
+                            interpolate_fluxes(
+                                parent.m_new,
+                                parent.n_new,
+                                child.m_new,
+                                child.n_new,
+                                parent.block,
+                                child.block,
+                                segs,
+                            )
 
         # (6) PTP_MN: ghost fill then halo exchange of the fluxes.
-        for st in self.states.values():
-            fill_ghosts_zero_gradient(st.m_new, ("W", "E", "S", "N"))
-            fill_ghosts_zero_gradient(st.n_new, ("W", "E", "S", "N"))
-        for aid, bid in self._neighbor_pairs:
-            exchange_halo(self.states[aid], self.states[bid], "m")
-            exchange_halo(self.states[aid], self.states[bid], "n")
+        with _span("PTP_MN", cat="comm"):
+            for st in self.states.values():
+                fill_ghosts_zero_gradient(st.m_new, ("W", "E", "S", "N"))
+                fill_ghosts_zero_gradient(st.n_new, ("W", "E", "S", "N"))
+            for aid, bid in self._neighbor_pairs:
+                exchange_halo(self.states[aid], self.states[bid], "m")
+                exchange_halo(self.states[aid], self.states[bid], "n")
 
         # (7) Outputs and double-buffer swap.
         self.time += dt
         self.step_count += 1
         update_outputs = self.step_count % self.output_every == 0
-        for bid, st in self.states.items():
-            if update_outputs:
-                self.outputs[bid].update(
-                    st.z_new,
-                    st.m_new,
-                    st.n_new,
-                    st.hz,
-                    self.time,
-                    dry_threshold=cfg.dry_threshold,
-                )
-            st.swap()
+        with _span("OUTPUT"):
+            for bid, st in self.states.items():
+                if update_outputs:
+                    self.outputs[bid].update(
+                        st.z_new,
+                        st.m_new,
+                        st.n_new,
+                        st.hz,
+                        self.time,
+                        dry_threshold=cfg.dry_threshold,
+                    )
+                st.swap()
+
+        if obs_on:
+            self._observe_step(_time.perf_counter() - _t0)
+
+    def _observe_step(self, wall_s: float) -> None:
+        """Fold one step into the process metrics registry (obs armed)."""
+        m = self._obs_metrics
+        if m is None:
+            from repro.obs.metrics import get_registry
+
+            reg = get_registry()
+            m = self._obs_metrics = (
+                reg.counter("repro_steps_total", "model steps integrated"),
+                reg.counter("repro_cells_total", "cell updates performed"),
+                reg.histogram(
+                    "repro_step_seconds", "wall time of one model step"
+                ),
+                reg.gauge(
+                    "repro_steps_per_second", "sustained step throughput"
+                ),
+                reg.gauge(
+                    "repro_cells_per_second",
+                    "sustained cell-update throughput",
+                ),
+            )
+        steps, cells, hist, sps, cps = m
+        steps.inc()
+        cells.inc(self._n_cells)
+        hist.observe(wall_s)
+        self._obs_wall_s += wall_s
+        self._obs_steps += 1
+        if self._obs_wall_s > 0:
+            sps.set(self._obs_steps / self._obs_wall_s)
+            cps.set(self._obs_steps * self._n_cells / self._obs_wall_s)
 
     def run(
         self,

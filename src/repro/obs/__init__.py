@@ -1,0 +1,115 @@
+"""Unified telemetry: span tracing, metrics, structured logs, exporters.
+
+``repro.obs`` is the single clock and accounting source for the stack:
+
+* :mod:`~repro.obs.timebase` — one monotonic + wall-clock pair shared by
+  journal events, trace spans, and log records;
+* :mod:`~repro.obs.trace` — hierarchical span tracer instrumenting the
+  Fig.-2 pipeline phases, halo exchanges, checkpoint writes, and
+  recovery actions (no-op when disabled);
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms with Prometheus
+  text export and a per-run ``metrics.json`` snapshot;
+* :mod:`~repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) from live spans and from simulated
+  :class:`~repro.hw.streams.KernelEvent` timelines, so measured and
+  modeled schedules render in the same viewer;
+* :mod:`~repro.obs.log` — structured JSONL logging with rank/step
+  context;
+* :mod:`~repro.obs.inspect` — the ``repro inspect <rundir>`` summarizer.
+
+One switch arms the whole layer::
+
+    import repro.obs as obs
+    obs.enable()                # tracer + metrics collection on
+    ...run a forecast...
+    obs.export_run(rundir)      # trace.json + metrics.json in the rundir
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import log, metrics, trace
+from repro.obs.export import (
+    chrome_trace,
+    kernel_events_to_chrome,
+    queue_occupancy,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.inspect import (
+    breakdowns_from_spans,
+    imbalance_ratio,
+    inspect_rundir,
+    top_spans,
+)
+from repro.obs.log import configure as configure_logging
+from repro.obs.log import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry, parse_prometheus
+from repro.obs.timebase import TIMEBASE, mono_us, timestamp_pair
+from repro.obs.trace import Tracer, get_tracer, instant, set_context, span
+
+
+def enable() -> None:
+    """Arm tracing and metrics collection for this process."""
+    trace.enable()
+
+
+def disable() -> None:
+    trace.disable()
+
+
+def is_enabled() -> bool:
+    """Is the telemetry layer armed?  Hot paths gate on this."""
+    return trace._TRACER.enabled
+
+
+def reset() -> None:
+    """Drop all collected spans and metrics (tests, fresh runs)."""
+    trace.clear()
+    get_registry().clear()
+
+
+def export_run(rundir, kernel_events=None) -> tuple[Path, Path]:
+    """Write ``trace.json`` and ``metrics.json`` into *rundir*."""
+    rundir = Path(rundir)
+    rundir.mkdir(parents=True, exist_ok=True)
+    trace_path = write_chrome_trace(
+        rundir / "trace.json", kernel_events=kernel_events
+    )
+    metrics_path = get_registry().write_json(rundir / "metrics.json")
+    return trace_path, metrics_path
+
+
+__all__ = [
+    "TIMEBASE",
+    "MetricsRegistry",
+    "Tracer",
+    "breakdowns_from_spans",
+    "chrome_trace",
+    "configure_logging",
+    "disable",
+    "enable",
+    "export_run",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "imbalance_ratio",
+    "inspect_rundir",
+    "instant",
+    "is_enabled",
+    "kernel_events_to_chrome",
+    "log",
+    "metrics",
+    "mono_us",
+    "parse_prometheus",
+    "queue_occupancy",
+    "reset",
+    "set_context",
+    "span",
+    "timestamp_pair",
+    "top_spans",
+    "trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,181 @@
+"""Exporters: Chrome trace-event JSON and the structured JSONL event log.
+
+The Chrome trace-event format (loadable in Perfetto or
+``chrome://tracing``) is the common viewer for both halves of this
+reproduction:
+
+* **live spans** from the :mod:`repro.obs.trace` tracer — a real
+  ``RTiModel``/``run_distributed`` execution, one track per rank;
+* **simulated kernel timelines** from
+  :class:`repro.hw.streams.KernelEvent` — the multi-queue schedules of
+  the paper's Figs. 10–11, one track per queue.
+
+Both render in the same UI, so a simulated schedule and a measured run
+can be compared side by side — the observability analogue of the
+paper's model-vs-measurement methodology.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.timebase import TIMEBASE
+from repro.obs.trace import Tracer, get_tracer
+
+
+def chrome_trace_events(spans: list[dict]) -> list[dict]:
+    """Convert exported span dicts into Chrome ``traceEvents``.
+
+    Spans become complete (``"ph": "X"``) events; zero-duration spans
+    become instants (``"ph": "i"``).  The track (``tid``) is the rank
+    when one is bound, else the raw thread id; all ranks share
+    ``pid = 0``.
+    """
+    events: list[dict] = []
+    for s in spans:
+        rank = s.get("rank")
+        tid = rank if rank is not None else s.get("tid", 0)
+        ev = {
+            "name": s["name"],
+            "cat": s.get("cat", "span"),
+            "pid": 0,
+            "tid": tid,
+            "ts": s["ts_us"],
+        }
+        args = dict(s.get("args") or {})
+        if rank is not None:
+            args.setdefault("rank", rank)
+        if args:
+            ev["args"] = args
+        if s.get("dur_us", 0.0) > 0.0:
+            ev["ph"] = "X"
+            ev["dur"] = s["dur_us"]
+        else:
+            ev["ph"] = "i"
+            ev["s"] = "t"
+        events.append(ev)
+    return events
+
+
+def kernel_events_to_chrome(
+    kernel_events, pid: int = 1, pid_name: str = "device (simulated)"
+) -> list[dict]:
+    """Chrome events from :class:`repro.hw.streams.KernelEvent` records.
+
+    Each queue is one track; the host-side enqueue time is kept in the
+    args so launch gaps (the paper's sync-vs-async point) stay visible.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": pid_name},
+        }
+    ]
+    for ev in kernel_events:
+        events.append(
+            {
+                "name": ev.label,
+                "cat": f"kernel:{ev.routine}",
+                "ph": "X",
+                "pid": pid,
+                "tid": ev.queue,
+                "ts": ev.start_us,
+                "dur": ev.duration_us,
+                "args": {
+                    "routine": ev.routine,
+                    "queue": ev.queue,
+                    "enqueue_us": ev.enqueue_us,
+                    "bytes_moved": ev.bytes_moved,
+                },
+            }
+        )
+    return events
+
+
+def chrome_trace(
+    tracer: Tracer | None = None,
+    kernel_events=None,
+) -> dict:
+    """The full Chrome trace document for a run.
+
+    A ``clock_sync`` metadata event carries the shared timebase's wall
+    anchor so traces from a crashed run and its resume can be merged on
+    the wall axis (see :mod:`repro.obs.timebase`).
+    """
+    tracer = tracer or get_tracer()
+    events = [
+        {
+            "name": "clock_sync", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"wall_epoch_s": TIMEBASE.wall0},
+        },
+        {
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": "repro (live spans)"},
+        },
+    ]
+    events.extend(chrome_trace_events(tracer.export()))
+    if kernel_events:
+        events.extend(kernel_events_to_chrome(kernel_events))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer: Tracer | None = None,
+                       kernel_events=None) -> Path:
+    """Atomically write a Chrome trace JSON file; returns its path."""
+    path = Path(path)
+    doc = chrome_trace(tracer, kernel_events=kernel_events)
+    tmp = path.with_name(f".tmp-{path.name}")
+    tmp.write_text(json.dumps(doc))
+    os.replace(tmp, path)
+    return path
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema check for a trace document; returns problems (empty = valid).
+
+    Enforces the trace-event contract the viewers rely on: a
+    ``traceEvents`` list, every event carrying ``name``/``ph``/``pid``/
+    ``tid``, numeric ``ts`` on all non-metadata events, and a
+    non-negative numeric ``dur`` on complete (``X``) events.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for field in ("name", "ph"):
+            if field not in ev:
+                problems.append(f"event {i} lacks {field!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                problems.append(f"event {i} lacks integer {field!r}")
+        ph = ev.get("ph")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event {i} ({ph}) lacks numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} lacks non-negative 'dur'")
+    return problems
+
+
+def queue_occupancy(kernel_events, makespan_us: float) -> dict[int, float]:
+    """Per-queue busy fraction of one simulated batch.
+
+    The "queue occupancy" metric of the multi-queue experiments: how
+    much of the makespan each asynchronous queue spent with a resident
+    kernel.  Returns an empty dict for a zero/negative makespan.
+    """
+    if makespan_us <= 0:
+        return {}
+    busy: dict[int, float] = {}
+    for ev in kernel_events:
+        busy[ev.queue] = busy.get(ev.queue, 0.0) + ev.duration_us
+    return {q: b / makespan_us for q, b in sorted(busy.items())}

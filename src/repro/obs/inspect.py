@@ -1,0 +1,280 @@
+"""Run inspection: summarize a run directory from its telemetry.
+
+``repro inspect <rundir>`` reads the three artifacts a traced run leaves
+behind — the write-ahead journal (``journal.jsonl``), the Chrome trace
+(``trace.json``) and the metrics snapshot (``metrics.json``) — and
+renders the paper's performance-accounting views for a *real* run:
+
+* a per-rank, per-phase breakdown table (the Fig. 3/8 stacked bars),
+  built by folding trace spans into the same
+  :class:`~repro.runtime.breakdown.RankBreakdown` rows the offline
+  performance replay produces — one accounting vocabulary for both;
+* the top-N slowest individual spans;
+* the rank-imbalance ratio (slowest rank / mean rank, the Fig. 12–13
+  load-balance metric);
+* deadline/ETA accuracy: each degradation decision's projected finish
+  versus the elapsed time the run actually recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import PersistError
+from repro.runtime.breakdown import (
+    BREAKDOWN_PHASES,
+    PhaseTime,
+    RankBreakdown,
+    format_breakdown_table,
+)
+
+TRACE_NAME = "trace.json"
+METRICS_NAME = "metrics.json"
+
+
+@dataclass
+class RunArtifacts:
+    """Everything inspectable found in one run directory."""
+
+    rundir: Path
+    events: list[dict] = field(default_factory=list)
+    journal_warning: str | None = None
+    spans: list[dict] = field(default_factory=list)
+    metrics: dict | None = None
+
+    def first_event(self, name: str) -> dict | None:
+        for ev in self.events:
+            if ev.get("event") == name:
+                return ev
+        return None
+
+
+def load_rundir(rundir) -> RunArtifacts:
+    """Load whatever telemetry the run directory holds (all optional)."""
+    rundir = Path(rundir)
+    if not rundir.is_dir():
+        raise PersistError(f"{rundir} is not a run directory")
+    art = RunArtifacts(rundir)
+
+    journal = rundir / "journal.jsonl"
+    if journal.exists():
+        from repro.persist.journal import read_journal
+
+        art.events, art.journal_warning = read_journal(journal)
+
+    trace_path = rundir / TRACE_NAME
+    if trace_path.exists():
+        try:
+            doc = json.loads(trace_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PersistError(f"cannot read {trace_path}: {exc}") from exc
+        art.spans = [
+            {
+                "name": ev.get("name"),
+                "cat": ev.get("cat", ""),
+                "rank": (ev.get("args") or {}).get("rank"),
+                "ts_us": ev.get("ts", 0.0),
+                "dur_us": ev.get("dur", 0.0),
+            }
+            for ev in doc.get("traceEvents", [])
+            if ev.get("ph") == "X"
+        ]
+
+    metrics_path = rundir / METRICS_NAME
+    if metrics_path.exists():
+        try:
+            art.metrics = json.loads(metrics_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PersistError(f"cannot read {metrics_path}: {exc}") from exc
+    return art
+
+
+# ---------------------------------------------------------------------------
+# Span folding — obs feeds runtime.breakdown
+# ---------------------------------------------------------------------------
+
+
+def breakdowns_from_spans(spans: list[dict]) -> list[RankBreakdown]:
+    """Fold phase spans into per-rank :class:`RankBreakdown` totals.
+
+    Spans named after :data:`BREAKDOWN_PHASES` accumulate into their
+    phase's busy time; spans from threads with no bound rank fold into
+    rank 0 (the single-process model).
+    """
+    per_rank: dict[int, RankBreakdown] = {}
+    for s in spans:
+        name = s.get("name")
+        if name not in BREAKDOWN_PHASES:
+            continue
+        rank = s.get("rank")
+        rank = 0 if rank is None else int(rank)
+        bd = per_rank.get(rank)
+        if bd is None:
+            bd = per_rank[rank] = RankBreakdown(rank)
+        pt = bd.phases[name]
+        bd.phases[name] = PhaseTime(
+            busy_us=pt.busy_us + float(s.get("dur_us", 0.0)),
+            wait_us=pt.wait_us,
+        )
+    return [per_rank[r] for r in sorted(per_rank)]
+
+
+def imbalance_ratio(breakdowns: list[RankBreakdown]) -> float:
+    """Slowest rank over mean rank (1.0 = perfectly balanced)."""
+    totals = [bd.step_us for bd in breakdowns]
+    if not totals or not any(totals):
+        return 1.0
+    return max(totals) / statistics.fmean(totals)
+
+
+def top_spans(spans: list[dict], n: int = 10) -> list[dict]:
+    """The *n* individually slowest spans (phase and nested alike)."""
+    return sorted(
+        (s for s in spans if s.get("dur_us", 0.0) > 0.0),
+        key=lambda s: s["dur_us"],
+        reverse=True,
+    )[:n]
+
+
+# ---------------------------------------------------------------------------
+# ETA / deadline accounting
+# ---------------------------------------------------------------------------
+
+
+def eta_summary(events: list[dict]) -> list[str]:
+    """Deadline-supervisor accuracy lines from journal events."""
+    start = next(
+        (ev for ev in events if ev.get("event") == "forecast_start"), None
+    )
+    done = next(
+        (ev for ev in events if ev.get("event") == "forecast_complete"), None
+    )
+    lines: list[str] = []
+    if start is None:
+        return lines
+    deadline = start.get("deadline_s")
+    if deadline is None:
+        lines.append("deadline        : none (no supervisor)")
+        return lines
+    lines.append(f"deadline        : {float(deadline):.1f} s budget")
+    if done is not None and done.get("elapsed_s") is not None:
+        elapsed = float(done["elapsed_s"])
+        verdict = "met" if elapsed <= float(deadline) else "MISSED"
+        lines.append(
+            f"elapsed (sim)   : {elapsed:.1f} s — deadline {verdict}"
+        )
+        for ev in events:
+            if ev.get("event") != "degradation":
+                continue
+            proj = ev.get("projected_s")
+            if proj is None:
+                continue
+            err = float(proj) - elapsed
+            lines.append(
+                f"  step {ev.get('step', '?')}: {ev.get('action')} at "
+                f"projected {float(proj):.1f} s "
+                f"(ETA error {err:+.1f} s vs actual finish)"
+            )
+    degr = sum(1 for ev in events if ev.get("event") == "degradation")
+    if degr:
+        lines.append(f"degradations    : {degr}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# The report
+# ---------------------------------------------------------------------------
+
+
+def _status_lines(art: RunArtifacts) -> list[str]:
+    lines = [f"run directory   : {art.rundir}"]
+    if art.journal_warning:
+        lines.append(f"journal warning : {art.journal_warning}")
+    names = [ev.get("event") for ev in art.events]
+    if not names:
+        lines.append("journal         : none")
+    else:
+        if "complete" in names or "forecast_complete" in names:
+            status = "complete"
+        elif "interrupted" in names:
+            status = "interrupted (resumable)"
+        else:
+            status = "incomplete"
+        lines.append(f"journal         : {len(names)} events, run {status}")
+        ckpts = names.count("checkpoint")
+        if ckpts:
+            lines.append(f"checkpoints     : {ckpts} published")
+        rollbacks = sum(
+            1
+            for ev in art.events
+            if ev.get("event") == "recovery" and ev.get("kind") == "rollback"
+        )
+        if rollbacks:
+            lines.append(f"rollbacks       : {rollbacks}")
+    return lines
+
+
+def _metrics_lines(metrics: dict) -> list[str]:
+    lines: list[str] = []
+    gauges = metrics.get("gauges", {})
+    counters = metrics.get("counters", {})
+    sps = gauges.get("repro_steps_per_second")
+    if sps:
+        lines.append(f"throughput      : {sps:,.1f} steps/s")
+    cps = gauges.get("repro_cells_per_second")
+    if cps:
+        lines.append(f"                  {cps:,.0f} cell-updates/s")
+    halo = counters.get("repro_halo_bytes_total")
+    if halo:
+        lines.append(f"halo traffic    : {halo:,.0f} bytes")
+    steps = counters.get("repro_steps_total")
+    if steps:
+        lines.append(f"steps           : {steps:,.0f}")
+    return lines
+
+
+def inspect_rundir(rundir, top_n: int = 10) -> str:
+    """Render the full inspection report for one run directory."""
+    art = load_rundir(rundir)
+    sections: list[str] = []
+    sections.append("\n".join(_status_lines(art)))
+
+    if art.metrics:
+        lines = _metrics_lines(art.metrics)
+        if lines:
+            sections.append("\n".join(lines))
+
+    eta = eta_summary(art.events)
+    if eta:
+        sections.append("\n".join(eta))
+
+    if art.spans:
+        bds = breakdowns_from_spans(art.spans)
+        if bds:
+            ratio = imbalance_ratio(bds)
+            sections.append(
+                "phase breakdown (cumulative us per rank):\n"
+                + format_breakdown_table(bds)
+                + f"\nrank imbalance  : {ratio:.3f}x "
+                "(slowest rank / mean rank)"
+            )
+        slow = top_spans(art.spans, top_n)
+        if slow:
+            lines = [f"top {len(slow)} slowest spans:"]
+            for s in slow:
+                rank = s.get("rank")
+                who = f" rank {rank}" if rank is not None else ""
+                lines.append(
+                    f"  {s['dur_us']:>12.1f} us  {s['name']}"
+                    f" [{s.get('cat', '')}]" + who
+                )
+            sections.append("\n".join(lines))
+    else:
+        sections.append(
+            "no trace.json — re-run with `repro forecast --export-trace` "
+            "to record spans"
+        )
+    return "\n\n".join(sections)

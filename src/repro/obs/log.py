@@ -1,0 +1,143 @@
+"""Structured logging: JSONL events with rank/step/sim-time context.
+
+Replaces ad-hoc ``print`` diagnostics in the library with one event
+stream.  Each record is a single JSON object (or a terse human line when
+JSON mode is off) carrying the shared timestamp pair from
+:mod:`repro.obs.timebase` plus whatever run context the caller bound
+(``rank``, ``step``, ``sim_time_s``) — the same fields journal events
+carry, so log lines, journal events, and trace spans all merge on one
+timeline.
+
+The default sink is ``stderr`` so structured diagnostics never corrupt
+a command's stdout deliverable (products, tables).  Configure once from
+the CLI (``--log-level``, ``--log-json``) or programmatically::
+
+    from repro.obs import log
+    log.configure(level="debug", json_mode=True)
+    logger = log.get_logger("persist")
+    logger.warning("snapshot_skipped", snapshot=name, reason=str(exc))
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+
+from repro.obs.timebase import timestamp_pair
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+_LEVEL_NAMES = {v: k for k, v in LEVELS.items()}
+
+
+class LogConfig:
+    """Process-wide logging configuration."""
+
+    def __init__(self) -> None:
+        self.threshold = LEVELS["warning"]
+        self.json_mode = False
+        self.stream = None  # None = sys.stderr at emit time
+        self._lock = threading.Lock()
+        self._context: dict = {}
+
+    def set_context(self, **fields) -> None:
+        """Bind fields (rank, run id…) to every subsequent record."""
+        with self._lock:
+            for k, v in fields.items():
+                if v is None:
+                    self._context.pop(k, None)
+                else:
+                    self._context[k] = v
+
+    def context(self) -> dict:
+        with self._lock:
+            return dict(self._context)
+
+
+_CONFIG = LogConfig()
+
+
+def configure(
+    level: str = "warning",
+    json_mode: bool = False,
+    stream=None,
+) -> None:
+    """Set the process-wide log level, format, and sink."""
+    if level not in LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        )
+    _CONFIG.threshold = LEVELS[level]
+    _CONFIG.json_mode = json_mode
+    _CONFIG.stream = stream
+
+
+def set_context(**fields) -> None:
+    """Bind run context (e.g. ``rank=3``) to all future records."""
+    _CONFIG.set_context(**fields)
+
+
+class Logger:
+    """Named logger emitting structured events."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, level: int, event: str, fields: dict) -> None:
+        if level < _CONFIG.threshold:
+            return
+        ts_wall, ts_mono_us = timestamp_pair()
+        rec = {
+            "ts_wall": round(ts_wall, 6),
+            "ts_mono_us": round(ts_mono_us, 1),
+            "level": _LEVEL_NAMES[level],
+            "logger": self.name,
+            "event": event,
+            **_CONFIG.context(),
+            **fields,
+        }
+        stream = _CONFIG.stream or sys.stderr
+        if _CONFIG.json_mode:
+            line = json.dumps(rec, sort_keys=True, default=str)
+        else:
+            detail = " ".join(
+                f"{k}={v}"
+                for k, v in rec.items()
+                if k not in ("ts_wall", "ts_mono_us", "level", "logger",
+                             "event")
+            )
+            line = f"[{rec['level']}] {self.name}: {event}"
+            if detail:
+                line += f" ({detail})"
+        try:
+            stream.write(line + "\n")
+            stream.flush()
+        except (OSError, ValueError):
+            pass  # a closed sink must never take the forecast down
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit(LEVELS["debug"], event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit(LEVELS["info"], event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit(LEVELS["warning"], event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit(LEVELS["error"], event, fields)
+
+
+_LOGGERS: dict[str, Logger] = {}
+_LOGGERS_LOCK = threading.Lock()
+
+
+def get_logger(name: str) -> Logger:
+    """The named logger (created on first use)."""
+    with _LOGGERS_LOCK:
+        logger = _LOGGERS.get(name)
+        if logger is None:
+            logger = _LOGGERS[name] = Logger(name)
+        return logger

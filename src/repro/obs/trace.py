@@ -1,0 +1,228 @@
+"""Low-overhead hierarchical span tracer with context propagation.
+
+The tracer answers "where did the time go" for *real* executions the
+same way :mod:`repro.runtime.perfsim` answers it for simulated ones:
+every instrumented region opens a :func:`span` named after the paper's
+routine vocabulary (``NLMASS``, ``PTP_Z``, …), spans nest via a
+per-thread stack (each simulated-MPI rank is a thread, so rank context
+propagates for free), and all timestamps come from the shared
+:mod:`~repro.obs.timebase` so spans merge cleanly with journal events.
+
+Disabled is the default and costs almost nothing: :func:`span` returns a
+shared no-op context manager after a single attribute check — no
+allocation, no clock read.  Production code can therefore instrument
+hot loops unconditionally; the <5 % overhead guard in
+``tests/test_obs.py`` keeps it honest.
+
+Usage::
+
+    from repro.obs import trace
+
+    trace.enable()
+    with trace.span("NLMASS", cat="compute", level=1):
+        ...
+    trace.get_tracer().export()   # list of span dicts, or use repro.obs.export
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.timebase import TIMEBASE
+
+#: Span categories used by the built-in instrumentation.
+CAT_COMPUTE = "compute"
+CAT_COMM = "comm"
+CAT_PERSIST = "persist"
+CAT_RESILIENCE = "resilience"
+CAT_STEP = "step"
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, **_kw) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One live (then finished) traced region."""
+
+    __slots__ = ("name", "cat", "rank", "tid", "ts_us", "dur_us",
+                 "depth", "args", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: dict | None) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args or None
+        self.dur_us = 0.0
+        tls = tracer._tls_state()
+        self.rank = tls.rank
+        self.tid = tls.tid
+        self.depth = len(tls.stack)
+        tls.stack.append(self)
+        self.ts_us = TIMEBASE.mono_us()
+
+    def set(self, **kw) -> None:
+        """Attach key/value detail to the span."""
+        if self.args is None:
+            self.args = {}
+        self.args.update(kw)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.dur_us = TIMEBASE.mono_us() - self.ts_us
+        tls = self._tracer._tls_state()
+        if tls.stack and tls.stack[-1] is self:
+            tls.stack.pop()
+        tls.buffer.append(self)
+        return False
+
+
+class _TlsState(threading.local):
+    """Per-thread span stack, output buffer, and propagated context."""
+
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+        self.buffer: list[Span] = []
+        self.rank: int | None = None
+        self.tid: int = threading.get_ident()
+        self.registered = False
+
+
+class Tracer:
+    """Span collector; one process-wide instance lives in this module."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._tls = _TlsState()
+        self._lock = threading.Lock()
+        self._buffers: list[list[Span]] = []
+        self._drained: list[Span] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffers.clear()
+            self._drained.clear()
+        self._tls = _TlsState()
+
+    # -- context ---------------------------------------------------------
+
+    def _tls_state(self) -> _TlsState:
+        tls = self._tls
+        if not tls.registered:
+            with self._lock:
+                self._buffers.append(tls.buffer)
+            tls.registered = True
+        return tls
+
+    def set_context(self, rank: int | None = None) -> None:
+        """Bind rank context to the calling thread's future spans."""
+        self._tls_state().rank = rank
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, cat: str = CAT_COMPUTE, **args):
+        """Open a span; returns a no-op when the tracer is disabled."""
+        if not self.enabled:
+            return _NOOP
+        return Span(self, name, cat, args or None)
+
+    def instant(self, name: str, cat: str = CAT_RESILIENCE, **args) -> None:
+        """Record a zero-duration marker event (degradation, rollback…)."""
+        if not self.enabled:
+            return
+        sp = Span(self, name, cat, args or None)
+        sp.__exit__()
+        sp.dur_us = 0.0  # a marker, not a region — exports as ph "i"
+
+    # -- export ----------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """All finished spans, in start order."""
+        with self._lock:
+            out = list(self._drained)
+            for buf in self._buffers:
+                out.extend(buf)
+        out.sort(key=lambda s: s.ts_us)
+        return out
+
+    def export(self) -> list[dict]:
+        """Finished spans as plain dicts (JSON-ready)."""
+        return [
+            {
+                "name": s.name,
+                "cat": s.cat,
+                "rank": s.rank,
+                "tid": s.tid,
+                "ts_us": s.ts_us,
+                "dur_us": s.dur_us,
+                "depth": s.depth,
+                "ts_wall": TIMEBASE.wall_of(s.ts_us),
+                **({"args": s.args} if s.args else {}),
+            }
+            for s in self.spans()
+        ]
+
+
+#: The process-wide tracer used by all built-in instrumentation.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def enable() -> None:
+    _TRACER.enable()
+
+
+def disable() -> None:
+    _TRACER.disable()
+
+
+def clear() -> None:
+    _TRACER.clear()
+
+
+def set_context(rank: int | None = None) -> None:
+    _TRACER.set_context(rank=rank)
+
+
+def span(name: str, cat: str = CAT_COMPUTE, **args):
+    """Module-level span entry point — the one hot paths call.
+
+    The disabled path is a single attribute check returning a shared
+    no-op object; see the overhead guard in ``tests/test_obs.py``.
+    """
+    t = _TRACER
+    if not t.enabled:
+        return _NOOP
+    return Span(t, name, cat, args or None)
+
+
+def instant(name: str, cat: str = CAT_RESILIENCE, **args) -> None:
+    _TRACER.instant(name, cat, **args)

@@ -32,6 +32,20 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.errors import CommTimeoutError, CommunicationError
+from repro.obs.trace import get_tracer
+
+_TRACER = get_tracer()
+
+
+def _sent_bytes(nbytes: int) -> None:
+    """Fold one transport payload into the halo-traffic counter."""
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "repro_halo_bytes_total",
+        "bytes moved through the simulated MPI transport",
+    ).inc(nbytes)
+
 
 #: Wildcard source, as in MPI.
 ANY_SOURCE = -1
@@ -143,7 +157,12 @@ class Communicator:
         """Blocking standard-mode send (buffered: never deadlocks on its own)."""
         if not 0 <= dest < self.size:
             raise CommunicationError(f"bad destination rank {dest}")
-        payload = obj.copy() if isinstance(obj, np.ndarray) else obj
+        if isinstance(obj, np.ndarray):
+            payload = obj.copy()
+            if _TRACER.enabled:
+                _sent_bytes(obj.nbytes)
+        else:
+            payload = obj
         self._world.mailboxes[dest].put((self.rank, tag, payload))
 
     def recv(

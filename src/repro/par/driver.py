@@ -43,6 +43,8 @@ from repro.nesting.restrict import (
     restriction_region,
     unpack_restriction,
 )
+from repro.obs.trace import get_tracer
+from repro.obs.trace import span as _span
 from repro.par.comm import Communicator, run_ranks
 from repro.par.decomposition import Decomposition
 from repro.xchg.packing import pack_boundary_offsets, unpack_boundary_offsets
@@ -184,15 +186,15 @@ class _RankRuntime:
                 dst[spec.dst] = src[spec.src]
             elif src_rank == self.comm.rank:
                 arr = self._field(self.states[spec.src_block], spec.field)
-                self.comm.send(
-                    pack_boundary_offsets([arr], spec.src),
-                    dest=dst_rank,
-                    tag=tag_base + tag,
-                )
+                with _span("halo_pack", cat="comm", field=spec.field):
+                    buf = pack_boundary_offsets([arr], spec.src)
+                self.comm.send(buf, dest=dst_rank, tag=tag_base + tag)
             elif dst_rank == self.comm.rank:
-                buf = self.comm.recv(source=src_rank, tag=tag_base + tag)
+                with _span("halo_recv", cat="comm", field=spec.field):
+                    buf = self.comm.recv(source=src_rank, tag=tag_base + tag)
                 dst = self._field(self.states[spec.dst_block], spec.field)
-                unpack_boundary_offsets(buf, [dst], spec.dst)
+                with _span("halo_unpack", cat="comm", field=spec.field):
+                    unpack_boundary_offsets(buf, [dst], spec.dst)
 
     def _jnz(self) -> None:
         """Child-to-parent restriction, finest level first."""
@@ -276,39 +278,48 @@ class _RankRuntime:
 
     def step(self) -> None:
         cfg = self.cfg
-        for st in self.states.values():
-            nlmass(
-                st.z_old, st.m_old, st.n_old, st.hz, cfg.dt, st.dx,
-                out=st.z_new, dry_threshold=cfg.dry_threshold,
-            )
-        self._jnz()
-        for st in self.states.values():
-            fill_ghosts_zero_gradient(st.z_new, ("W", "E", "S", "N"))
-        self._ptp(("z",), _TAG_PTP_Z)
-        for st in self.states.values():
-            nlmnt2(
-                st.z_new, st.m_old, st.n_old, st.hz, cfg.dt, st.dx,
-                cfg.manning, out_m=st.m_new, out_n=st.n_new,
-                nonlinear=cfg.nonlinear, dry_threshold=cfg.dry_threshold,
-                velocity_cap=cfg.velocity_cap,
-            )
-        for bid, st in self.states.items():
-            if st.block.level != 1:
-                continue
-            sides = self.topo.outer_sides[bid]
-            if not sides:
-                continue
-            if cfg.boundary == "open":
-                apply_open_boundary(st.z_new, st.m_new, st.n_new, st.hz, sides)
-            else:
-                apply_wall_boundary(st.m_new, st.n_new, sides)
-        self._jnq()
-        for st in self.states.values():
-            fill_ghosts_zero_gradient(st.m_new, ("W", "E", "S", "N"))
-            fill_ghosts_zero_gradient(st.n_new, ("W", "E", "S", "N"))
-        self._ptp(("m", "n"), _TAG_PTP_MN)
-        for st in self.states.values():
-            st.swap()
+        with _span("NLMASS"):
+            for st in self.states.values():
+                nlmass(
+                    st.z_old, st.m_old, st.n_old, st.hz, cfg.dt, st.dx,
+                    out=st.z_new, dry_threshold=cfg.dry_threshold,
+                )
+        with _span("JNZ", cat="comm"):
+            self._jnz()
+        with _span("PTP_Z", cat="comm"):
+            for st in self.states.values():
+                fill_ghosts_zero_gradient(st.z_new, ("W", "E", "S", "N"))
+            self._ptp(("z",), _TAG_PTP_Z)
+        with _span("NLMNT2"):
+            for st in self.states.values():
+                nlmnt2(
+                    st.z_new, st.m_old, st.n_old, st.hz, cfg.dt, st.dx,
+                    cfg.manning, out_m=st.m_new, out_n=st.n_new,
+                    nonlinear=cfg.nonlinear, dry_threshold=cfg.dry_threshold,
+                    velocity_cap=cfg.velocity_cap,
+                )
+        with _span("JNQ", cat="comm"):
+            for bid, st in self.states.items():
+                if st.block.level != 1:
+                    continue
+                sides = self.topo.outer_sides[bid]
+                if not sides:
+                    continue
+                if cfg.boundary == "open":
+                    apply_open_boundary(
+                        st.z_new, st.m_new, st.n_new, st.hz, sides
+                    )
+                else:
+                    apply_wall_boundary(st.m_new, st.n_new, sides)
+            self._jnq()
+        with _span("PTP_MN", cat="comm"):
+            for st in self.states.values():
+                fill_ghosts_zero_gradient(st.m_new, ("W", "E", "S", "N"))
+                fill_ghosts_zero_gradient(st.n_new, ("W", "E", "S", "N"))
+            self._ptp(("m", "n"), _TAG_PTP_MN)
+        with _span("OUTPUT"):
+            for st in self.states.values():
+                st.swap()
 
 
 def run_distributed(
@@ -353,6 +364,9 @@ def run_distributed(
         comm_wrap = lambda comm: FaultyComm(comm, fault_plan)  # noqa: E731
 
     def rank_main(comm: Communicator) -> dict[int, np.ndarray]:
+        # Each rank is a thread: bind the rank id to this thread's spans
+        # so trace tracks and the imbalance summary separate per rank.
+        get_tracer().set_context(rank=comm.rank)
         rt = _RankRuntime(comm, grid, decomp, bathymetry, config, topo)
         if source is not None:
             for bid, st in rt.states.items():

@@ -15,9 +15,15 @@ import os
 from pathlib import Path
 
 from repro.errors import PersistError
+from repro.obs.timebase import timestamp_pair
+from repro.obs.trace import span as _span
 
 #: Journal format version, recorded in every ``run_start`` event.
-JOURNAL_VERSION = 1
+#: Version 2 adds the shared ``ts_wall``/``ts_mono_us`` timestamp pair
+#: (same timebase as trace spans, see :mod:`repro.obs.timebase`) so
+#: journal events and spans merge into one timeline that never runs
+#: backwards — including across a crash/resume boundary.
+JOURNAL_VERSION = 2
 
 
 class RunJournal:
@@ -34,15 +40,29 @@ class RunJournal:
             self._seq = max(int(ev.get("seq", 0)) for ev in existing)
 
     def record(self, event: str, **fields) -> dict:
-        """Durably append one event; returns the record written."""
+        """Durably append one event; returns the record written.
+
+        Each record carries the shared monotonic + wall-clock pair from
+        :mod:`repro.obs.timebase` — the same clock trace spans use — so
+        merged journal/trace timelines stay monotone even when the
+        system clock steps or the run is resumed in a new process.
+        """
         self._seq += 1
-        rec = {"seq": self._seq, "event": event, **fields}
+        ts_wall, ts_mono_us = timestamp_pair()
+        rec = {
+            "seq": self._seq,
+            "ts_wall": round(ts_wall, 6),
+            "ts_mono_us": round(ts_mono_us, 1),
+            "event": event,
+            **fields,
+        }
         line = json.dumps(rec, sort_keys=True, default=str)
         try:
-            with open(self.path, "a") as fh:
-                fh.write(line + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
+            with _span("journal_append", cat="persist", event=event):
+                with open(self.path, "a") as fh:
+                    fh.write(line + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
         except OSError as exc:
             raise PersistError(
                 f"cannot append to run journal {self.path}: {exc}"

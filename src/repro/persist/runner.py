@@ -15,6 +15,7 @@ from pathlib import Path
 
 from repro.core.model import RTiModel
 from repro.errors import PersistError
+from repro.obs.log import get_logger
 from repro.persist.journal import JOURNAL_VERSION
 from repro.persist.preflight import validate_scenario
 from repro.persist.products import ProductStreamer
@@ -23,6 +24,8 @@ from repro.persist.snapshot import SCHEMA_VERSION, grid_fingerprint, restore_sna
 from repro.persist.store import RunStore
 
 DEFAULT_CHECKPOINT_EVERY = 25
+
+_LOG = get_logger("persist")
 
 
 def _noecho(_msg: str) -> None:
@@ -50,6 +53,12 @@ def _run_to_completion(
         )
     store.record_event(
         "complete", step=model.step_count, time=model.time
+    )
+    _LOG.info(
+        "run_complete",
+        step=model.step_count,
+        sim_time_s=round(model.time, 3),
+        rundir=str(store.rundir),
     )
     echo(
         f"run complete at step {model.step_count} "
@@ -116,6 +125,7 @@ def resume_run(rundir: Path, *, echo=_noecho) -> RTiModel:
     store = RunStore(rundir, create=False)
     warning = store.journal_warning()
     if warning:
+        _LOG.warning("journal_torn", rundir=str(rundir), detail=warning)
         echo(f"warning: {warning}")
     start = store.first_event("run_start")
     if start is None:
@@ -149,14 +159,25 @@ def resume_run(rundir: Path, *, echo=_noecho) -> RTiModel:
             f"journaled run ({str(want)[:12]}…) — code or scenario drifted"
         )
 
-    snap = store.latest_valid_snapshot(warn=lambda m: echo(f"warning: {m}"))
+    def _warn(msg: str) -> None:
+        _LOG.warning("snapshot_skipped", rundir=str(rundir), detail=msg)
+        echo(f"warning: {msg}")
+
+    snap = store.latest_valid_snapshot(warn=_warn)
     if snap is not None:
         restore_snapshot(model, snap)
+        _LOG.info(
+            "snapshot_restored",
+            snapshot=snap.path.name,
+            step=snap.step,
+            sim_time_s=round(snap.time, 3),
+        )
         echo(
             f"restored snapshot {snap.path.name} "
             f"(step {snap.step}, t={snap.time:.1f} s)"
         )
     else:
+        _LOG.warning("no_valid_snapshot", rundir=str(rundir))
         echo("no valid snapshot found; restarting from step 0")
     store.record_event(
         "resume",

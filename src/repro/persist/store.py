@@ -28,6 +28,8 @@ import re
 from pathlib import Path
 
 from repro.errors import PersistError
+from repro.obs.trace import get_tracer
+from repro.obs.trace import span as _span
 from repro.persist.journal import RunJournal, read_journal
 from repro.persist.snapshot import (
     Snapshot,
@@ -129,16 +131,32 @@ class RunStore:
         """
         seq = self._next_seq()
         name = f"ck_{seq:05d}_step_{model.step_count:08d}"
-        self.record_event(
-            "checkpoint_begin", step=model.step_count, snapshot=name
-        )
-        path = write_snapshot(model, self.snapshots_dir / name, extra=extra)
-        self.record_event(
-            "checkpoint",
-            step=model.step_count,
-            time=model.time,
-            snapshot=name,
-        )
+        obs_on = get_tracer().enabled
+        if obs_on:
+            import time as _time
+
+            t0 = _time.perf_counter()
+        with _span("CKPT", cat="persist", step=model.step_count,
+                   snapshot=name):
+            self.record_event(
+                "checkpoint_begin", step=model.step_count, snapshot=name
+            )
+            path = write_snapshot(
+                model, self.snapshots_dir / name, extra=extra
+            )
+            self.record_event(
+                "checkpoint",
+                step=model.step_count,
+                time=model.time,
+                snapshot=name,
+            )
+        if obs_on:
+            from repro.obs.metrics import get_registry
+
+            get_registry().histogram(
+                "repro_checkpoint_seconds",
+                "wall time of one on-disk checkpoint publish",
+            ).observe(_time.perf_counter() - t0)
         return path
 
     def latest_valid_snapshot(self, warn=None) -> Snapshot | None:

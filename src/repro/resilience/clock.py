@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.hw.kernelcost import KernelInvocation
 from repro.hw.streams import LaunchMode, StreamSimulator
+from repro.obs.trace import get_tracer
 
 
 class SimulatedClock:
@@ -48,7 +49,8 @@ class SimulatedClock:
         self.n_queues = n_queues
         self.comm_overhead = comm_overhead
         self.elapsed_us = 0.0
-        self._cache: dict[tuple, float] = {}
+        # key -> (cost_us, per-queue busy fraction over the makespan)
+        self._cache: dict[tuple, tuple[float, dict[int, float]]] = {}
 
     @property
     def elapsed_s(self) -> float:
@@ -81,8 +83,25 @@ class SimulatedClock:
                     sim.submit(
                         KernelInvocation("OUTPUT", cells, f"out b{bid}")
                     )
-            self._cache[key] = sim.run().makespan_us * self.comm_overhead
-        return self._cache[key]
+            result = sim.run()
+            from repro.obs.export import queue_occupancy
+
+            self._cache[key] = (
+                result.makespan_us * self.comm_overhead,
+                queue_occupancy(result.events, result.makespan_us),
+            )
+        return self._cache[key][0]
+
+    def queue_occupancy(
+        self, model, slowdown: float = 1.0, with_outputs: bool = True
+    ) -> dict[int, float]:
+        """Per-queue busy fraction of the priced step schedule."""
+        self.step_cost_us(model, slowdown=slowdown, with_outputs=with_outputs)
+        cells_key = tuple(
+            sorted((bid, st.block.nx * st.block.ny)
+                   for bid, st in model.states.items())
+        )
+        return self._cache[(cells_key, round(slowdown, 6), with_outputs)][1]
 
     def charge_step(self, model, slowdown: float = 1.0) -> float:
         """Advance the clock by one step of *model*; returns the cost [us].
@@ -95,4 +114,20 @@ class SimulatedClock:
             model, slowdown=slowdown, with_outputs=with_outputs
         )
         self.advance(cost)
+        if get_tracer().enabled:
+            from repro.obs.metrics import get_registry
+
+            reg = get_registry()
+            reg.gauge(
+                "repro_sim_elapsed_seconds",
+                "simulated wall-clock charged so far",
+            ).set(self.elapsed_s)
+            for q, frac in self.queue_occupancy(
+                model, slowdown=slowdown, with_outputs=with_outputs
+            ).items():
+                reg.gauge(
+                    "repro_queue_occupancy",
+                    "busy fraction of one simulated device queue",
+                    labels={"queue": str(q)},
+                ).set(frac)
         return cost

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import DeadlineError
+from repro.obs.trace import get_tracer
 
 #: Degradation actions, mildest first.
 DEGRADATION_ORDER = ("drop_level", "coarsen_output", "finish_early")
@@ -92,6 +93,18 @@ class DeadlineSupervisor:
 
     def record(self, event: DegradationEvent) -> None:
         self.events.append(event)
+        if get_tracer().enabled:
+            from repro.obs.metrics import get_registry
+
+            reg = get_registry()
+            reg.gauge(
+                "repro_eta_projected_seconds",
+                "projected forecast finish at the last deadline decision",
+            ).set(event.projected_s)
+            reg.gauge(
+                "repro_eta_deadline_seconds",
+                "operational deadline the supervisor projects against",
+            ).set(event.deadline_s)
 
     @property
     def degraded(self) -> bool:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.core.config import SimulationConfig
 from repro.core.model import RTiModel
+from repro.obs.log import get_logger
 from repro.resilience.checkpoint import CheckpointRing
 from repro.resilience.clock import SimulatedClock
 from repro.resilience.deadline import DeadlineSupervisor
@@ -21,6 +22,8 @@ from repro.resilience.faultplan import FaultPlan
 from repro.resilience.health import HealthMonitor
 from repro.resilience.recovery import RecoveryEngine
 from repro.resilience.report import ForecastReport
+
+_LOG = get_logger("resilience")
 
 
 def run_resilient_forecast(
@@ -119,11 +122,19 @@ def run_resilient_forecast(
         rollbacks=rollbacks,
     )
     report.model = final
+    _LOG.info(
+        "forecast_complete",
+        status=report.status,
+        achieved_s=round(final.time, 3),
+        elapsed_s=round(clock.elapsed_s, 3),
+        rollbacks=rollbacks,
+    )
     if store is not None:
         store.record_event(
             "forecast_complete",
             status=report.status,
             achieved_s=final.time,
+            elapsed_s=clock.elapsed_s,
             checkpoints_taken=ring.taken,
             checkpoints_spilled=ring.spilled,
             rollbacks=rollbacks,

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.constants import GRAVITY
 from repro.errors import NumericalError
+from repro.obs.trace import get_tracer
 
 
 class HealthMonitor:
@@ -70,6 +71,13 @@ class HealthMonitor:
     def check(self, model) -> None:
         """Run all checks now; raise :class:`NumericalError` on failure."""
         self.checks_run += 1
+        if get_tracer().enabled:
+            from repro.obs.metrics import get_registry
+
+            get_registry().counter(
+                "repro_health_checks_total",
+                "numerical health checks executed",
+            ).inc()
         dt = model.config.dt
         for bid, st in model.states.items():
             for name, arr in (

@@ -29,10 +29,14 @@ from dataclasses import dataclass, replace
 from repro.core.model import RTiModel
 from repro.errors import CommunicationError, NumericalError
 from repro.grid.hierarchy import NestedGrid
+from repro.obs.log import get_logger
+from repro.obs.trace import get_tracer, instant
 from repro.resilience.checkpoint import CheckpointRing
 from repro.resilience.deadline import DeadlineSupervisor, DegradationEvent
 from repro.resilience.faultplan import FaultPlan
 from repro.resilience.inject import corrupt_state
+
+_LOG = get_logger("resilience")
 
 
 @dataclass(frozen=True)
@@ -179,6 +183,23 @@ class RecoveryEngine:
         self.recoveries.append(
             RecoveryEvent(self.model.step_count, kind, detail)
         )
+        _LOG.warning(
+            "recovery", kind=kind, step=self.model.step_count, detail=detail
+        )
+        if get_tracer().enabled:
+            instant(
+                f"recovery:{kind}",
+                cat="resilience",
+                step=self.model.step_count,
+                detail=detail,
+            )
+            from repro.obs.metrics import get_registry
+
+            get_registry().counter(
+                "repro_recovery_actions_total",
+                "recovery-engine actions by kind",
+                labels={"kind": kind},
+            ).inc()
         if self.journal is not None:
             self.journal(
                 "recovery",
@@ -279,12 +300,36 @@ class RecoveryEngine:
                 deadline_s=sup.deadline_s,
             )
         )
+        _LOG.warning(
+            "degradation",
+            action=action,
+            step=self.model.step_count,
+            detail=detail,
+            projected_s=round(projected, 3),
+            deadline_s=sup.deadline_s,
+        )
+        if get_tracer().enabled:
+            instant(
+                f"degradation:{action}",
+                cat="resilience",
+                step=self.model.step_count,
+                detail=detail,
+            )
+            from repro.obs.metrics import get_registry
+
+            get_registry().counter(
+                "repro_degradations_total",
+                "graceful-degradation actions by kind",
+                labels={"action": action},
+            ).inc()
         if self.journal is not None:
             self.journal(
                 "degradation",
                 action=action,
                 step=self.model.step_count,
                 detail=detail,
+                projected_s=round(projected, 3),
+                deadline_s=sup.deadline_s,
             )
         return not (action == "finish_early" and self.horizon_s <= model.time)
 
