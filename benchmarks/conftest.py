@@ -6,12 +6,14 @@ times the computation that produces them with pytest-benchmark.
 
 A benchmark session also leaves a machine-readable throughput snapshot in
 ``benchmarks/BENCH_obs.json`` (steps/s, cells/s, cumulative per-phase µs
-from the span tracer) so PR-over-PR trajectories can be compared without
-re-parsing pytest-benchmark output.
+from the span tracer, platform + git revision provenance) so PR-over-PR
+trajectories can be compared without re-parsing pytest-benchmark output.
+The document is produced by :func:`repro.obs.baseline.run_bench` — the
+same probe ``repro bench`` runs — so the pytest session and the CLI write
+byte-compatible schemas.
 """
 
 import json
-import time
 from pathlib import Path
 
 import pytest
@@ -47,46 +49,10 @@ def emit(text: str) -> None:
 
 
 def bench_obs_snapshot(n_steps: int = _OBS_STEPS) -> dict:
-    """Run a short traced mini-Kochi forecast and summarize its telemetry."""
-    import repro.obs as obs
-    from repro.core import RTiModel, SimulationConfig
-    from repro.fault import GaussianSource
-    from repro.runtime.breakdown import BREAKDOWN_PHASES
-    from repro.topo import build_mini_kochi
+    """One-repeat bench document (delegates to the observatory probe)."""
+    from repro.obs.baseline import run_bench
 
-    mk = build_mini_kochi()
-    model = RTiModel(mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt))
-    model.set_initial_condition(
-        GaussianSource(x0=4_000.0, y0=16_000.0, amplitude=2.0, sigma=2_500.0)
-    )
-    obs.reset()
-    obs.enable()
-    try:
-        t0 = time.perf_counter()
-        model.run(n_steps)
-        wall_s = time.perf_counter() - t0
-        spans = obs.get_tracer().export()
-    finally:
-        obs.disable()
-        obs.reset()
-    phase_us = {p: 0.0 for p in BREAKDOWN_PHASES}
-    for s in spans:
-        if s["name"] in phase_us:
-            phase_us[s["name"]] += s["dur_us"]
-    n_cells = sum(
-        st.block.nx * st.block.ny for st in model.states.values()
-    )
-    return {
-        "schema": "repro.bench_obs/1",
-        "grid": "mini-kochi",
-        "steps": n_steps,
-        "wall_s": round(wall_s, 4),
-        "steps_per_second": round(n_steps / wall_s, 2) if wall_s else None,
-        "cells_per_second": (
-            round(n_steps * n_cells / wall_s, 1) if wall_s else None
-        ),
-        "phase_us": {p: round(v, 1) for p, v in phase_us.items()},
-    }
+    return run_bench(repeats=1, n_steps=n_steps)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -100,4 +66,5 @@ def pytest_sessionfinish(session, exitstatus):
     except Exception as exc:  # noqa: BLE001 - never fail the session
         print(f"\nBENCH_obs.json skipped: {exc}")
         return
-    print(f"\nwrote {out} ({snap['steps_per_second']} steps/s)")
+    sps = snap["medians"]["steps_per_second"]
+    print(f"\nwrote {out} ({sps:.1f} steps/s)")

@@ -40,6 +40,7 @@ from repro.grid.hierarchy import NestedGrid
 from repro.grid.staggered import NGHOST
 from repro.nesting.interp import child_boundary_segments, interpolate_fluxes
 from repro.nesting.restrict import restrict_eta
+from repro.obs.trace import NOOP_SPAN as _NOOP_SPAN
 from repro.obs.trace import get_tracer
 from repro.obs.trace import span as _span
 
@@ -188,19 +189,26 @@ class RTiModel:
 
             _t0 = _time.perf_counter()
 
-        # (1) NLMASS on every block.
+        # (1) NLMASS on every block.  Per-block kernel spans carry the
+        # block's cell count so live traces can recalibrate the Fig.-5
+        # linear cost model (repro.balance.calibrate); the hoisted
+        # obs_on check keeps the disabled path allocation-free.
         with _span("NLMASS"):
             for st in self.states.values():
-                nlmass(
-                    st.z_old,
-                    st.m_old,
-                    st.n_old,
-                    st.hz,
-                    dt,
-                    st.dx,
-                    out=st.z_new,
-                    dry_threshold=cfg.dry_threshold,
-                )
+                with (
+                    _span("NLMASS.kernel", cells=st.block.n_cells)
+                    if obs_on else _NOOP_SPAN
+                ):
+                    nlmass(
+                        st.z_old,
+                        st.m_old,
+                        st.n_old,
+                        st.hz,
+                        dt,
+                        st.dx,
+                        out=st.z_new,
+                        dry_threshold=cfg.dry_threshold,
+                    )
 
         # (2) JNZ: child -> parent restriction, finest level first so a
         # multi-level cascade settles coarse levels last.
@@ -231,20 +239,24 @@ class RTiModel:
         # (4) NLMNT2 on every block.
         with _span("NLMNT2"):
             for st in self.states.values():
-                nlmnt2(
-                    st.z_new,
-                    st.m_old,
-                    st.n_old,
-                    st.hz,
-                    dt,
-                    st.dx,
-                    cfg.manning,
-                    out_m=st.m_new,
-                    out_n=st.n_new,
-                    nonlinear=cfg.nonlinear,
-                    dry_threshold=cfg.dry_threshold,
-                    velocity_cap=cfg.velocity_cap,
-                )
+                with (
+                    _span("NLMNT2.kernel", cells=st.block.n_cells)
+                    if obs_on else _NOOP_SPAN
+                ):
+                    nlmnt2(
+                        st.z_new,
+                        st.m_old,
+                        st.n_old,
+                        st.hz,
+                        dt,
+                        st.dx,
+                        cfg.manning,
+                        out_m=st.m_new,
+                        out_n=st.n_new,
+                        nonlinear=cfg.nonlinear,
+                        dry_threshold=cfg.dry_threshold,
+                        velocity_cap=cfg.velocity_cap,
+                    )
 
         # (5) Boundary conditions: outer BC on level 1, JNQ elsewhere.
         with _span("JNQ", cat="comm"):

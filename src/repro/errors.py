@@ -100,3 +100,21 @@ class DeadlineError(ReproError):
     budget, or when even the most aggressive graceful-degradation policy
     cannot produce any forecast before the deadline.
     """
+
+
+class ObservatoryError(ReproError):
+    """Performance-observatory failure.
+
+    Raised by the bench/baseline machinery (:mod:`repro.obs.baseline`,
+    :mod:`repro.obs.observatory`) for malformed bench documents, bad
+    injection specs, or a baseline store in an unusable state.
+    """
+
+
+class CalibrationError(ObservatoryError):
+    """Online model calibration cannot produce a usable fit.
+
+    Raised by :mod:`repro.balance.calibrate` when a trace carries kernel
+    spans at fewer than two distinct block sizes, or when the recorded
+    durations produce a degenerate (non-positive-slope) linear model.
+    """

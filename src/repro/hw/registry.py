@@ -188,6 +188,45 @@ SYSTEMS: dict[str, SystemSpec] = {
 }
 
 
+#: Stored linear NLMNT2 cost models per platform key, as
+#: ``(slope_us_per_cell, intercept_us, r2)``.  The A100 entry is the
+#: paper's published Fig.-5 fit; other platforms are fitted on demand
+#: from the calibrated hardware model (the Fig.-5 procedure) and cached
+#: here.  ``repro retune`` reports live-trace drift against these.
+REFERENCE_MODELS: dict[str, tuple[float, float, float]] = {
+    "a100-sxm4": (1.09e-4, 46.2, 0.942),
+}
+
+
+def platform_key_of(platform: PlatformSpec) -> str | None:
+    """Registry key of a :class:`PlatformSpec`; ``None`` if unregistered."""
+    for key, spec in PLATFORMS.items():
+        if spec is platform:
+            return key
+    return None
+
+
+def reference_model_for(key: str):
+    """The stored :class:`~repro.balance.perfmodel.LinearPerfModel`.
+
+    Lazily fits and caches platforms without a published model so every
+    platform has a drift anchor.  (Imports are deferred: ``repro.hw``
+    must stay importable without ``repro.balance``.)
+    """
+    from repro.balance.perfmodel import LinearPerfModel
+
+    params = REFERENCE_MODELS.get(key)
+    if params is None:
+        from repro.balance.apply import fit_platform_model
+
+        model = fit_platform_model(get_platform(key))
+        REFERENCE_MODELS[key] = (
+            model.slope_us_per_cell, model.intercept_us, model.r2
+        )
+        return model
+    return LinearPerfModel(*params)
+
+
 def get_platform(key: str) -> PlatformSpec:
     try:
         return PLATFORMS[key]

@@ -29,7 +29,10 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.obs import log, metrics, trace
+from repro.obs import baseline, critpath, log, metrics, regression, trace
+from repro.obs.baseline import BaselineStore, run_bench
+from repro.obs.critpath import analyze_queues, analyze_spans
+from repro.obs.regression import compare_docs
 from repro.obs.export import (
     chrome_trace,
     kernel_events_to_chrome,
@@ -41,6 +44,8 @@ from repro.obs.inspect import (
     breakdowns_from_spans,
     imbalance_ratio,
     inspect_rundir,
+    load_rundir,
+    render_report,
     top_spans,
 )
 from repro.obs.log import configure as configure_logging
@@ -83,9 +88,15 @@ def export_run(rundir, kernel_events=None) -> tuple[Path, Path]:
 
 __all__ = [
     "TIMEBASE",
+    "BaselineStore",
     "MetricsRegistry",
     "Tracer",
+    "analyze_queues",
+    "analyze_spans",
+    "baseline",
     "breakdowns_from_spans",
+    "compare_docs",
+    "critpath",
     "chrome_trace",
     "configure_logging",
     "disable",
@@ -99,12 +110,16 @@ __all__ = [
     "instant",
     "is_enabled",
     "kernel_events_to_chrome",
+    "load_rundir",
     "log",
     "metrics",
     "mono_us",
     "parse_prometheus",
     "queue_occupancy",
+    "regression",
+    "render_report",
     "reset",
+    "run_bench",
     "set_context",
     "span",
     "timestamp_pair",

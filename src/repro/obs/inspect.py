@@ -78,6 +78,9 @@ def load_rundir(rundir) -> RunArtifacts:
                 "rank": (ev.get("args") or {}).get("rank"),
                 "ts_us": ev.get("ts", 0.0),
                 "dur_us": ev.get("dur", 0.0),
+                # Keep the args: the calibration path reads per-block
+                # cell counts out of <routine>.kernel spans.
+                "args": ev.get("args") or {},
             }
             for ev in doc.get("traceEvents", [])
             if ev.get("ph") == "X"
@@ -236,9 +239,8 @@ def _metrics_lines(metrics: dict) -> list[str]:
     return lines
 
 
-def inspect_rundir(rundir, top_n: int = 10) -> str:
-    """Render the full inspection report for one run directory."""
-    art = load_rundir(rundir)
+def render_report(art: RunArtifacts, top_n: int = 10) -> str:
+    """Render the inspection report for already-loaded artifacts."""
     sections: list[str] = []
     sections.append("\n".join(_status_lines(art)))
 
@@ -255,12 +257,23 @@ def inspect_rundir(rundir, top_n: int = 10) -> str:
         bds = breakdowns_from_spans(art.spans)
         if bds:
             ratio = imbalance_ratio(bds)
+            from repro.obs.metrics import get_registry
+
+            get_registry().gauge(
+                "repro_rank_imbalance_ratio",
+                "max/mean rank time of the last inspected/re-tuned run",
+            ).set(ratio)
             sections.append(
                 "phase breakdown (cumulative us per rank):\n"
                 + format_breakdown_table(bds)
                 + f"\nrank imbalance  : {ratio:.3f}x "
                 "(slowest rank / mean rank)"
             )
+        from repro.obs.critpath import analyze_spans
+
+        path = analyze_spans(art.spans)
+        if path is not None:
+            sections.append(path.summary())
         slow = top_spans(art.spans, top_n)
         if slow:
             lines = [f"top {len(slow)} slowest spans:"]
@@ -278,3 +291,8 @@ def inspect_rundir(rundir, top_n: int = 10) -> str:
             "to record spans"
         )
     return "\n\n".join(sections)
+
+
+def inspect_rundir(rundir, top_n: int = 10) -> str:
+    """Render the full inspection report for one run directory."""
+    return render_report(load_rundir(rundir), top_n)

@@ -36,6 +36,13 @@ DEFAULT_SECONDS_BUCKETS = (
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
+#: Quantile summaries exported for every non-empty histogram.
+QUANTILE_SUFFIXES: tuple[tuple[float, str], ...] = (
+    (0.50, "p50"),
+    (0.95, "p95"),
+    (0.99, "p99"),
+)
+
 
 def _labels_key(labels: dict | None) -> tuple:
     if not labels:
@@ -209,6 +216,20 @@ class MetricsRegistry:
                 lines.append(f"{name}_bucket{lb} {cum[-1]}")
                 lines.append(f"{name}_sum{_labels_text(lkey)} {m.sum:g}")
                 lines.append(f"{name}_count{_labels_text(lkey)} {m.count}")
+                # Derived p50/p95/p99 summaries (bucket-resolution upper
+                # bounds) so dashboards get tail latencies without
+                # re-deriving them from the cumulative buckets.
+                if m.count:
+                    for q, suffix in QUANTILE_SUFFIXES:
+                        qname = f"{name}_{suffix}"
+                        if qname not in typed:
+                            lines.append(f"# TYPE {qname} gauge")
+                            typed.add(qname)
+                        v = m.quantile(q)
+                        text = "+Inf" if math.isinf(v) else f"{v:g}"
+                        lines.append(
+                            f"{qname}{_labels_text(lkey)} {text}"
+                        )
             else:
                 lines.append(f"{name}{_labels_text(lkey)} {m.value:g}")
         return "\n".join(lines) + "\n"

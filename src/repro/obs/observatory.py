@@ -1,0 +1,275 @@
+"""The performance observatory: telemetry turned into decisions.
+
+PR 3 made the stack *observable* (spans, metrics, traces); this module
+makes it *actionable*.  Three instruments, surfaced as CLI commands:
+
+* **bench** (:func:`bench`) — run the repeated mini-Kochi probe, write
+  the versioned bench document, and manage the per-platform baseline in
+  the :class:`~repro.obs.baseline.BaselineStore`;
+* **compare** (:func:`compare_against_baseline`) — the statistical
+  regression gate of :mod:`repro.obs.regression`, non-zero on confirmed
+  regressions so CI can block on it;
+* **retune** (:func:`retune_from_rundir`) — fold a traced run's
+  per-block kernel spans into the Fig.-5 linear fit
+  (:mod:`repro.balance.calibrate`), report drift against the platform's
+  stored reference model (:mod:`repro.hw.registry`), and feed the
+  recalibrated model to the Algorithm-1 hill-climb re-tuner; the
+  resulting max/mean rank-time imbalance is exported through the
+  metrics registry as ``repro_rank_imbalance_ratio``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.balance.calibrate import (
+    ModelDrift,
+    calibrate_from_spans,
+    drift,
+)
+from repro.balance.perfmodel import LinearPerfModel
+from repro.errors import ObservatoryError
+from repro.obs.baseline import (
+    BaselineStore,
+    load_doc,
+    parse_injection,
+    run_bench,
+    write_doc,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.regression import (
+    DEFAULT_THRESHOLD,
+    RegressionReport,
+    compare_docs,
+)
+
+#: Default bench-document drop path (the PR-over-PR trajectory file).
+DEFAULT_BENCH_OUT = Path("benchmarks") / "BENCH_obs.json"
+
+#: Gauge exporting the predicted rank imbalance of the last retune.
+IMBALANCE_GAUGE = "repro_rank_imbalance_ratio"
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+
+def bench(
+    repeats: int,
+    n_steps: int,
+    platform_key: str,
+    out: str | Path | None = None,
+    inject: dict[str, float] | None = None,
+    store: BaselineStore | None = None,
+    save_baseline: str = "if-missing",
+    rundir: str | Path | None = None,
+) -> tuple[dict, list[str]]:
+    """Run the probe, write artifacts, manage the baseline lifecycle.
+
+    *save_baseline* is one of ``"if-missing"`` (default: the first bench
+    on a platform creates its baseline), ``"always"`` (promote this
+    document to the baseline), or ``"never"`` (measure only — what CI
+    uses so the committed baseline stays authoritative).
+
+    Returns the bench document and the human-readable action log.
+    """
+    if save_baseline not in ("if-missing", "always", "never"):
+        raise ObservatoryError(
+            f"unknown save_baseline policy {save_baseline!r}"
+        )
+    store = store or BaselineStore()
+    doc = run_bench(
+        repeats=repeats, n_steps=n_steps,
+        platform_key=platform_key, inject=inject,
+    )
+    lines: list[str] = []
+    out_path = write_doc(doc, Path(out) if out else DEFAULT_BENCH_OUT)
+    lines.append(f"wrote bench document: {out_path}")
+    if save_baseline == "always" or (
+        save_baseline == "if-missing" and not store.exists(platform_key)
+    ):
+        path = store.save(doc)
+        lines.append(f"baseline saved: {path}")
+    elif save_baseline == "if-missing":
+        lines.append(
+            f"baseline kept: {store.path_for(platform_key)} "
+            "(use --update-baseline to promote this run)"
+        )
+    if rundir is not None:
+        snap = store.snapshot(rundir, doc)
+        lines.append(f"rundir snapshot: {snap}")
+    med = doc.get("medians", {})
+    sps = med.get("steps_per_second")
+    if sps:
+        lines.append(
+            f"median throughput: {sps:,.1f} steps/s, "
+            f"{med.get('cells_per_second', 0):,.0f} cell-updates/s "
+            f"over {doc['repeats']}x{doc['steps']} steps"
+        )
+    return doc, lines
+
+
+# ---------------------------------------------------------------------------
+# compare
+# ---------------------------------------------------------------------------
+
+
+def compare_against_baseline(
+    baseline_path: str | Path,
+    current_doc: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> RegressionReport:
+    """Gate one bench document against a stored baseline."""
+    return compare_docs(
+        load_doc(baseline_path), current_doc, threshold=threshold
+    )
+
+
+# ---------------------------------------------------------------------------
+# retune
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RetuneReport:
+    """Outcome of one live recalibration + re-tune cycle."""
+
+    rundir: str
+    system: str
+    platform_key: str
+    ranks: int
+    model: LinearPerfModel
+    reference: LinearPerfModel
+    drift: ModelDrift
+    base_makespan_us: float
+    retuned_makespan_us: float
+    imbalance_base: float  # max/mean predicted rank time, equal split
+    imbalance_retuned: float
+    blocks_per_rank: list[int]
+    n_samples: int
+
+    @property
+    def speedup(self) -> float:
+        if self.retuned_makespan_us <= 0:
+            return 1.0
+        return self.base_makespan_us / self.retuned_makespan_us
+
+    def summary(self) -> str:
+        m = self.model
+        return "\n".join([
+            f"recalibrated model: t = {m.slope_us_per_cell:.3e}*cells "
+            f"+ {m.intercept_us:.1f} us (R^2={m.r2:.3f}, "
+            f"{self.n_samples} kernel spans from {self.rundir})",
+            self.drift.summary(),
+            f"re-tuned decomposition ({self.ranks} ranks, "
+            f"{self.system}): predicted makespan "
+            f"{self.base_makespan_us:,.0f} -> "
+            f"{self.retuned_makespan_us:,.0f} us "
+            f"({self.speedup:.2f}x)",
+            f"rank imbalance  : {self.imbalance_base:.3f}x -> "
+            f"{self.imbalance_retuned:.3f}x (max/mean predicted rank "
+            f"time; exported as {IMBALANCE_GAUGE})",
+            f"blocks/rank     : {self.blocks_per_rank}",
+        ])
+
+
+def _makespan_and_imbalance(decomp, model: LinearPerfModel):
+    times = [
+        model.rank_time_us([it.n_cells for it in rw.items])
+        for rw in decomp.ranks
+    ]
+    mean = statistics.fmean(times) if times else 0.0
+    imbalance = max(times) / mean if mean > 0 else 1.0
+    return (max(times) if times else 0.0), imbalance
+
+
+def retune_from_rundir(
+    rundir: str | Path,
+    system: str = "squid-gpu",
+    ranks: int = 16,
+    grid: str = "kochi",
+    iterations: int = 2000,
+    seed: int = 0,
+    routine: str = "NLMNT2",
+) -> RetuneReport:
+    """Recalibrate the cost model from a traced run and re-tune with it.
+
+    Reads the rundir's recorded spans, fits the linear model from the
+    per-block kernel spans, reports drift against the platform's stored
+    reference model, and runs the Algorithm-1 separator optimization on
+    the chosen grid (``"kochi"`` — the production Table-I grid — or
+    ``"mini-kochi"``) under the recalibrated model.
+    """
+    from repro.balance.apply import optimized_decomposition
+    from repro.balance.calibrate import kernel_samples
+    from repro.hw.registry import get_system, platform_key_of
+    from repro.obs.inspect import load_rundir
+    from repro.par.decomposition import equal_cell_assignment
+    from repro.topo import build_kochi_grid, build_mini_kochi
+
+    art = load_rundir(rundir)
+    if not art.spans:
+        raise ObservatoryError(
+            f"{rundir} has no recorded spans; run the forecast with "
+            "--export-trace first"
+        )
+    model = calibrate_from_spans(art.spans, routine=routine)
+    n_samples = len(kernel_samples(art.spans, routine)[0])
+
+    sysspec = get_system(system)
+    platform = sysspec.platform
+    platform_key = platform_key_of(platform) or platform.name
+    from repro.hw.registry import reference_model_for
+
+    reference = reference_model_for(platform_key)
+    dr = drift(model, reference)
+
+    if grid == "kochi":
+        g = build_kochi_grid()
+    elif grid == "mini-kochi":
+        g = build_mini_kochi().grid
+    else:
+        raise ObservatoryError(f"unknown grid {grid!r}")
+
+    base = equal_cell_assignment(g, ranks, split_blocks=False)
+    opt = optimized_decomposition(
+        g, ranks, platform, model=model, iterations=iterations, seed=seed
+    )
+    base_ms, base_imb = _makespan_and_imbalance(base, model)
+    opt_ms, opt_imb = _makespan_and_imbalance(opt, model)
+
+    get_registry().gauge(
+        IMBALANCE_GAUGE,
+        "max/mean predicted rank time of the re-tuned decomposition",
+    ).set(opt_imb)
+
+    return RetuneReport(
+        rundir=str(rundir),
+        system=system,
+        platform_key=platform_key,
+        ranks=ranks,
+        model=model,
+        reference=reference,
+        drift=dr,
+        base_makespan_us=base_ms,
+        retuned_makespan_us=opt_ms,
+        imbalance_base=base_imb,
+        imbalance_retuned=opt_imb,
+        blocks_per_rank=opt.blocks_per_rank(),
+        n_samples=n_samples,
+    )
+
+
+__all__ = [
+    "DEFAULT_BENCH_OUT",
+    "IMBALANCE_GAUGE",
+    "BaselineStore",
+    "RetuneReport",
+    "bench",
+    "compare_against_baseline",
+    "parse_injection",
+    "retune_from_rundir",
+]

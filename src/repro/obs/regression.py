@@ -1,0 +1,198 @@
+"""Statistical performance-regression detection (the CI gate's brain).
+
+A bench document (:mod:`repro.obs.baseline`) carries repeated samples
+per metric.  The detector compares medians and gates on the larger of a
+configurable relative threshold and the baseline's own noise band
+(median absolute deviation scaled to a normal-consistent sigma):
+
+    regression  ⇔  worsening_fraction > max(threshold, k·1.4826·MAD/|median|)
+
+Design points the tests pin down:
+
+* **strict inequality** — a delta exactly at the threshold passes, the
+  next representable value above it fails (boundary exactness);
+* **improvements never trigger** — the worsening fraction is signed, a
+  faster run is negative and cannot exceed a positive gate;
+* **zero-variance baselines** degrade gracefully — MAD is 0, so the
+  relative threshold alone governs;
+* **single-sample documents** work — a median of one value is that
+  value, MAD is 0.
+
+Direction matters: throughputs (``steps_per_second``,
+``cells_per_second``) regress when they *drop*; times and byte counts
+regress when they *rise*.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from repro.obs.baseline import flatten_sample, samples_of
+
+#: Default relative worsening gate (30 %): generous enough that host
+#: timer noise on a ~40-step probe stays under it, tight enough that a
+#: 2x kernel slowdown (delta 1.0) is unambiguous.
+DEFAULT_THRESHOLD = 0.30
+
+#: Baseline-noise multiplier: the gate widens to k sigmas of the
+#: baseline's own scatter when that exceeds the relative threshold.
+DEFAULT_MAD_K = 3.0
+
+#: Normal-consistency constant: sigma ≈ 1.4826 · MAD.
+MAD_SCALE = 1.4826
+
+#: Metrics where larger is better; everything else regresses upward.
+HIGHER_IS_BETTER = frozenset({"steps_per_second", "cells_per_second"})
+
+
+def direction_of(metric: str) -> str:
+    """``"higher"`` or ``"lower"`` — which way *metric* is better."""
+    return "higher" if metric in HIGHER_IS_BETTER else "lower"
+
+
+def median_mad(xs: list[float]) -> tuple[float, float]:
+    """Median and median absolute deviation of a non-empty sample."""
+    m = statistics.median(xs)
+    mad = statistics.median([abs(x - m) for x in xs])
+    return m, mad
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's comparison outcome."""
+
+    metric: str
+    direction: str
+    baseline_median: float
+    current_median: float
+    delta_frac: float  # signed worsening fraction (positive = worse)
+    gate_frac: float  # the effective threshold actually applied
+    noise_frac: float  # the baseline's own MAD-derived noise band
+    regressed: bool
+    improved: bool
+
+    def describe(self) -> str:
+        arrow = "REGRESSED" if self.regressed else (
+            "improved" if self.improved else "ok"
+        )
+        delta = (
+            f"{self.delta_frac * 100:+.1f}%"
+            if math.isfinite(self.delta_frac)
+            else ("worse from zero" if self.delta_frac > 0 else "new zero")
+        )
+        return (
+            f"{self.metric:<24} {self.baseline_median:>14.4g} -> "
+            f"{self.current_median:>14.4g}  {delta:>10} "
+            f"(gate {self.gate_frac * 100:.1f}%)  {arrow}"
+        )
+
+
+def detect(
+    metric: str,
+    baseline_samples: list[float],
+    current_samples: list[float],
+    threshold: float = DEFAULT_THRESHOLD,
+    mad_k: float = DEFAULT_MAD_K,
+) -> MetricVerdict:
+    """Compare one metric's sample sets; see the module docstring."""
+    if not baseline_samples or not current_samples:
+        raise ValueError(f"metric {metric!r} has an empty sample set")
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    bm, bmad = median_mad(baseline_samples)
+    cm, _ = median_mad(current_samples)
+    direction = direction_of(metric)
+    raw = (cm - bm) if direction == "lower" else (bm - cm)
+    if bm != 0:
+        delta_frac = raw / abs(bm)
+        noise_frac = mad_k * MAD_SCALE * bmad / abs(bm)
+    else:
+        # A zero baseline: any worsening is infinitely worse, any
+        # improvement infinitely better, equality is a zero delta.
+        delta_frac = math.inf if raw > 0 else (-math.inf if raw < 0 else 0.0)
+        noise_frac = 0.0
+    gate = max(threshold, noise_frac)
+    return MetricVerdict(
+        metric=metric,
+        direction=direction,
+        baseline_median=bm,
+        current_median=cm,
+        delta_frac=delta_frac,
+        gate_frac=gate,
+        noise_frac=noise_frac,
+        regressed=delta_frac > gate,
+        improved=delta_frac < 0,
+    )
+
+
+@dataclass
+class RegressionReport:
+    """All metric verdicts of one baseline/current comparison."""
+
+    verdicts: list[MetricVerdict]
+    threshold: float
+    baseline_rev: str | None = None
+    current_rev: str | None = None
+
+    @property
+    def regressions(self) -> list[MetricVerdict]:
+        return [v for v in self.verdicts if v.regressed]
+
+    @property
+    def improvements(self) -> list[MetricVerdict]:
+        return [v for v in self.verdicts if v.improved and not v.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [
+            f"regression gate: threshold {self.threshold * 100:.0f}% "
+            f"(widened per metric by baseline noise), "
+            f"{len(self.verdicts)} metrics"
+        ]
+        if self.baseline_rev or self.current_rev:
+            lines.append(
+                f"  baseline rev {self.baseline_rev or '?'} -> "
+                f"current rev {self.current_rev or '?'}"
+            )
+        for v in self.verdicts:
+            lines.append("  " + v.describe())
+        if self.regressions:
+            names = ", ".join(v.metric for v in self.regressions)
+            lines.append(f"CONFIRMED REGRESSIONS: {names}")
+        else:
+            lines.append("no confirmed regressions")
+        return "\n".join(lines)
+
+
+def compare_docs(
+    baseline_doc: dict,
+    current_doc: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    mad_k: float = DEFAULT_MAD_K,
+) -> RegressionReport:
+    """Compare two bench documents metric by metric.
+
+    Only metrics present in *both* documents are compared, so a schema
+    upgrade that adds instruments never fails old baselines.  Legacy
+    flat (v1) documents are treated as single-sample documents.
+    """
+    base = [flatten_sample(s) for s in samples_of(baseline_doc)]
+    cur = [flatten_sample(s) for s in samples_of(current_doc)]
+    base_metrics = {k for f in base for k in f}
+    cur_metrics = {k for f in cur for k in f}
+    verdicts = []
+    for metric in sorted(base_metrics & cur_metrics):
+        bs = [f[metric] for f in base if metric in f]
+        cs = [f[metric] for f in cur if metric in f]
+        verdicts.append(detect(metric, bs, cs, threshold, mad_k))
+    return RegressionReport(
+        verdicts=verdicts,
+        threshold=threshold,
+        baseline_rev=baseline_doc.get("git_rev"),
+        current_rev=current_doc.get("git_rev"),
+    )

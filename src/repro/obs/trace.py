@@ -55,6 +55,11 @@ class _NoopSpan:
 
 _NOOP = _NoopSpan()
 
+#: Public shared no-op span: lets instrumented call sites that already
+#: know telemetry is off (a hoisted ``enabled`` check around a hot loop)
+#: skip even the kwargs packing of :func:`span`.
+NOOP_SPAN = _NOOP
+
 
 class Span:
     """One live (then finished) traced region."""

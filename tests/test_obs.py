@@ -11,6 +11,7 @@ CLI flags that arm the layer.
 
 import io
 import json
+import math
 import time
 import timeit
 
@@ -306,6 +307,19 @@ class TestMetrics:
         assert samples['repro_step_seconds_bucket{le="+Inf"}'] == 2
         assert samples["repro_step_seconds_sum"] == pytest.approx(0.55)
         assert samples["repro_step_seconds_count"] == 2
+        # Derived quantile gauges (bucket upper bounds) round-trip too:
+        # one of two observations fell in the 0.1 bucket, the other past
+        # the last finite bound.
+        assert samples["repro_step_seconds_p50"] == 0.1
+        assert samples["repro_step_seconds_p95"] == math.inf
+        assert samples["repro_step_seconds_p99"] == math.inf
+
+    def test_prometheus_quantiles_skip_empty_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_empty_seconds", buckets=(0.1, 1.0))
+        text = reg.to_prometheus()
+        assert "repro_empty_seconds_count" in text
+        assert "repro_empty_seconds_p50" not in text
 
     def test_parse_rejects_malformed_lines(self):
         with pytest.raises(ValueError):
@@ -542,14 +556,18 @@ class TestInspect:
     def test_inspect_untraced_rundir_suggests_flag(self, tmp_path, capsys):
         from repro.cli import main
 
-        assert main(["inspect", str(tmp_path)]) == 0
-        assert "--export-trace" in capsys.readouterr().out
+        # Distinct exit code + structured JSON error (satellite c).
+        assert main(["inspect", str(tmp_path)]) == 4
+        err = json.loads(capsys.readouterr().out)["error"]
+        assert err["code"] == "no-spans"
+        assert "--export-trace" in err["hint"]
 
     def test_inspect_missing_dir_fails(self, tmp_path, capsys):
         from repro.cli import main
 
-        assert main(["inspect", str(tmp_path / "nope")]) == 1
-        assert "error" in capsys.readouterr().out
+        assert main(["inspect", str(tmp_path / "nope")]) == 3
+        err = json.loads(capsys.readouterr().out)["error"]
+        assert err["code"] == "rundir-missing"
 
     def test_export_trace_explicit_path(self, tmp_path, capsys):
         from repro.cli import main
