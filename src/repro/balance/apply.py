@@ -9,14 +9,19 @@ from __future__ import annotations
 
 from repro.balance.hillclimb import optimize_separators
 from repro.balance.perfmodel import (
+    PAPER_INTERCEPT_US,
+    PAPER_SLOPE_US_PER_CELL,
     LinearPerfModel,
     fit_linear_model,
     measure_kernel_runtimes,
 )
+from repro.errors import DecompositionError
 from repro.grid.hierarchy import NestedGrid
 from repro.hw.platform import PlatformSpec
 from repro.par.decomposition import (
     Decomposition,
+    RankWork,
+    WorkItem,
     decomposition_from_separators,
     equal_cell_assignment,
     ranks_per_level,
@@ -80,3 +85,45 @@ def optimized_decomposition(
             cells, n, model, iterations=iterations, seed=seed + lvl.index
         )
     return decomposition_from_separators(grid, separators)
+
+
+def shrink_decomposition(
+    grid: NestedGrid,
+    n_ranks: int,
+    model: LinearPerfModel | None = None,
+    iterations: int = 2000,
+    seed: int = 0,
+) -> Decomposition:
+    """Re-decompose the whole grid onto *n_ranks* surviving ranks.
+
+    This is the recovery path after a rank failure: the dead rank's
+    blocks must land somewhere, so the one-level-per-rank restriction is
+    relaxed and the hill-climb separator optimizer (Algorithm 1) runs
+    over the *global* block sequence — all levels concatenated in
+    block-id order — scored by the linear kernel-time model.  The result
+    is deterministic (fixed optimizer seed), uses whole blocks only
+    (the distributed driver's requirement), and may give a rank blocks
+    from adjacent levels, exactly like the paper's few-socket runs.
+
+    *model* defaults to the paper's published fit, so shrinking needs no
+    microbenchmark at recovery time.
+    """
+    blocks = sorted(grid.all_blocks(), key=lambda b: b.block_id)
+    if not 1 <= n_ranks <= len(blocks):
+        raise DecompositionError(
+            f"cannot shrink onto {n_ranks} ranks: grid has "
+            f"{len(blocks)} whole blocks"
+        )
+    model = model or LinearPerfModel(
+        PAPER_SLOPE_US_PER_CELL, PAPER_INTERCEPT_US, 1.0
+    )
+    cells = [b.n_cells for b in blocks]
+    seps = optimize_separators(
+        cells, n_ranks, model, iterations=iterations, seed=seed
+    )
+    bounds = [0] + list(seps) + [len(blocks)]
+    ranks = []
+    for rank_id, (b0, b1) in enumerate(zip(bounds, bounds[1:])):
+        items = tuple(WorkItem(b) for b in blocks[b0:b1])
+        ranks.append(RankWork(rank_id, items[0].block.level, items))
+    return Decomposition(grid, tuple(ranks))

@@ -163,6 +163,9 @@ def _cmd_forecast(args) -> int:
     source = _make_source(args)
     steps = int(args.minutes * 60 / mk.dt)
 
+    if args.ranks > 1:
+        return _forecast_distributed(args, mk, source, steps, traced)
+
     resilient = (
         args.deadline is not None
         or args.faults is not None
@@ -237,6 +240,61 @@ def _cmd_forecast(args) -> int:
     model.run(steps)
     _print_products(model, mk.grid)
     if traced:
+        _obs_export(args)
+    return 0
+
+
+def _forecast_distributed(args, mk, source, steps, traced) -> int:
+    """``forecast --ranks N``: the survivable distributed runtime."""
+    import numpy as np
+
+    from repro.core import SimulationConfig
+    from repro.par.decomposition import equal_cell_assignment
+    from repro.resilience import FaultPlan, SurvivalConfig
+    from repro.resilience.survive import survivable_run_distributed
+
+    plan = None
+    if args.faults is not None:
+        plan = FaultPlan.from_file(args.faults)
+    elif args.fault_seed is not None:
+        plan = FaultPlan.random(
+            args.fault_seed,
+            kinds=("rank_crash", "msg_drop", "msg_delay"),
+            n_faults=args.fault_count, n_ranks=args.ranks,
+            n_steps=max(steps, 1),
+        )
+    store = None
+    if args.rundir is not None:
+        from repro.persist import RunStore
+
+        store = RunStore(args.rundir)
+    decomp = equal_cell_assignment(mk.grid, args.ranks, split_blocks=False)
+    survival = SurvivalConfig(
+        checkpoint_every=args.checkpoint_every,
+        spare_ranks=args.spare_ranks,
+        max_rank_failures=args.max_rank_failures,
+        policy=args.recovery_policy,
+        hedge_stragglers=args.hedge_stragglers,
+        deadline_s=args.deadline,
+    )
+    print(f"Integrating {steps} steps ({args.minutes} simulated minutes) "
+          f"on {args.ranks} ranks with failure survival...")
+    eta, report = survivable_run_distributed(
+        mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt), decomp,
+        source, steps, survival=survival, fault_plan=plan, store=store,
+    )
+    if plan is not None and plan.triggered_labels():
+        print("faults fired    : " + "; ".join(plan.triggered_labels()))
+    print("recovery        : " + report.summary())
+    eta_max = max(float(np.nanmax(a)) for a in eta.values())
+    print(f"max water level : {eta_max:.2f} m (final step, all blocks)")
+    if traced:
+        from repro.obs import get_registry
+
+        recovery = get_registry().sample("repro_recovery_")
+        recovery.update(get_registry().sample("repro_hedge_"))
+        for name, value in sorted(recovery.items()):
+            print(f"  {name} = {value:g}")
         _obs_export(args)
     return 0
 
@@ -540,6 +598,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="collect metrics and write a metrics.json "
                            "snapshot (default PATH: <rundir>/metrics.json, "
                            "else ./metrics.json)")
+    p_fc.add_argument("--ranks", type=int, default=1, metavar="N",
+                      help="run distributed on N simulated MPI ranks with "
+                           "in-flight failure survival (default: 1 = "
+                           "single process)")
+    p_fc.add_argument("--spare-ranks", type=int, default=0, metavar="N",
+                      help="spare-rank pool for respawn recovery "
+                           "(distributed runs)")
+    p_fc.add_argument("--max-rank-failures", type=int, default=2,
+                      metavar="N",
+                      help="recovery rounds before the survivable run "
+                           "falls back to single-process (default: 2)")
+    p_fc.add_argument("--recovery-policy", default="auto",
+                      choices=["auto", "shrink", "respawn"],
+                      help="how to recover a lost rank: respawn from the "
+                           "spare pool, shrink onto the survivors, or "
+                           "auto (respawn while spares last, then shrink)")
+    p_fc.add_argument("--hedge-stragglers", action="store_true",
+                      help="speculatively migrate a straggling rank's "
+                           "blocks to the least-loaded rank (needs "
+                           "--ranks >= 3)")
 
     p_sw = sub.add_parser("sweep", help="cross-platform runtime sweep")
     p_sw.add_argument("--sockets", type=int, nargs="+",

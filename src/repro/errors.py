@@ -45,11 +45,46 @@ class CommTimeoutError(CommunicationError):
     ----------
     failed_rank:
         Rank on which the timeout fired, when known (else ``None``).
+    source, dest, tag:
+        Endpoints of the operation that timed out, when known — the
+        recovery layer uses these to name the suspected-dead peer
+        instead of guessing from the message text.
+    op:
+        Kind of operation ("recv", "irecv", "isend", "agree", ...).
+    pending:
+        Human-readable summaries of the communicator's outstanding
+        nonblocking requests at the moment of the timeout.
     """
 
-    def __init__(self, message: str, failed_rank: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        failed_rank: int | None = None,
+        source: int | None = None,
+        dest: int | None = None,
+        tag: int | None = None,
+        op: str | None = None,
+        pending: list[str] | None = None,
+    ) -> None:
         super().__init__(message)
         self.failed_rank = failed_rank
+        self.source = source
+        self.dest = dest
+        self.tag = tag
+        self.op = op
+        self.pending = list(pending) if pending else []
+
+
+class CommunicatorRevokedError(CommunicationError):
+    """The communicator was revoked (ULFM-style) after a rank failure.
+
+    Delivered to every blocked operation of every surviving rank when
+    any rank calls :meth:`repro.par.comm.Communicator.revoke`, so the
+    group collectively abandons the current communication epoch and can
+    run a failure-agreement round
+    (:meth:`repro.par.comm.Communicator.agree_failures`) instead of
+    dying one timeout at a time.
+    """
 
 
 class PlatformError(ReproError):

@@ -189,6 +189,21 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def sample(self, prefix: str = "") -> dict[str, float]:
+        """Scalar samples (counters and gauges) filtered by name prefix.
+
+        Histograms are skipped — they have no single scalar value.  The
+        survivable runtime's ``repro_recovery_*`` / ``repro_hedge_*``
+        family is the motivating consumer: the CLI and the chaos tests
+        read one family of instruments without parsing a full export.
+        """
+        out: dict[str, float] = {}
+        for (name, lkey), m in self._items():
+            if isinstance(m, Histogram) or not name.startswith(prefix):
+                continue
+            out[name + _labels_text(lkey)] = m.value
+        return out
+
     # -- export ----------------------------------------------------------
 
     def _items(self):

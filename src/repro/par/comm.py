@@ -19,19 +19,30 @@ Failure semantics (the operational-resilience contract):
 * timeouts are configurable per :class:`Communicator` and raise
   :class:`~repro.errors.CommTimeoutError` (a
   :class:`~repro.errors.CommunicationError` subclass), so callers can
-  distinguish a transient stall from protocol misuse.
+  distinguish a transient stall from protocol misuse;
+* a survivor that detects a failure can *revoke* the communicator
+  (ULFM ``MPI_Comm_revoke`` semantics): every blocked operation on every
+  rank fails with :class:`~repro.errors.CommunicatorRevokedError`, after
+  which the group runs an agreement round
+  (:meth:`Communicator.agree_failures`, ULFM ``MPIX_Comm_agree``) to
+  reach a consistent view of the dead-rank set before rebuilding.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
-from repro.errors import CommTimeoutError, CommunicationError
+from repro.errors import (
+    CommTimeoutError,
+    CommunicationError,
+    CommunicatorRevokedError,
+)
 from repro.obs.trace import get_tracer
 
 _TRACER = get_tracer()
@@ -56,6 +67,10 @@ DEFAULT_TIMEOUT = 30.0
 #: Sentinel payload delivered to every mailbox when a rank dies.
 _POISON = object()
 
+#: Sentinel payload delivered to every mailbox when the communicator is
+#: revoked by a survivor (distinct from _POISON: the *sender* is alive).
+_REVOKED = object()
+
 #: Sentinel distinguishing "use the communicator default" from an explicit
 #: ``None`` (= wait forever).
 _UNSET = object()
@@ -70,6 +85,22 @@ class Request:
     _error: list = field(default_factory=lambda: [None])
     _default_timeout: float | None = DEFAULT_TIMEOUT
     _rank: int | None = None
+    _op: str = "request"
+    _source: int | None = None
+    _dest: int | None = None
+    _tag: int | None = None
+    _comm: Any = None
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``irecv(source=2, tag=7)``."""
+        ends = []
+        if self._source is not None:
+            ends.append(f"source={self._source}")
+        if self._dest is not None:
+            ends.append(f"dest={self._dest}")
+        if self._tag is not None:
+            ends.append(f"tag={self._tag}")
+        return f"{self._op}({', '.join(ends)})"
 
     def wait(self, timeout: float | None = _UNSET):
         """Block until the operation completes; return its value.
@@ -83,9 +114,20 @@ class Request:
         if timeout is _UNSET:
             timeout = self._default_timeout
         if not self._done.wait(timeout):
+            pending = (
+                self._comm.pending_summary()
+                if self._comm is not None
+                else [self.describe()]
+            )
             raise CommTimeoutError(
-                f"request timed out after {timeout}s (deadlock?)",
+                f"rank {self._rank}: {self.describe()} timed out after "
+                f"{timeout}s (deadlock?); pending: {pending}",
                 failed_rank=self._rank,
+                source=self._source,
+                dest=self._dest,
+                tag=self._tag,
+                op=self._op,
+                pending=pending,
             )
         if self._error[0] is not None:
             raise self._error[0]
@@ -108,20 +150,48 @@ class _World:
         #: (rank, exception) pairs, in order of failure.
         self.errors: list[tuple[int, BaseException]] = []
         self._fail_lock = threading.Lock()
+        #: Ranks known dead, and the agreement-round state (ULFM-style).
+        self.dead: set[int] = set()
+        self.revoked = threading.Event()
+        self._agree_cv = threading.Condition()
+        self._agree_votes: set[int] = set()
 
     def fail(self, rank: int, exc: BaseException) -> None:
         """Record a rank failure and wake every blocked sibling.
 
         The barrier is broken (releasing collective waiters) and a poison
         message naming the dead rank is delivered to every mailbox so
-        point-to-point receivers fail fast instead of timing out.
+        point-to-point receivers fail fast instead of timing out.  The
+        dead set is updated and any in-progress agreement round is
+        notified so it can converge without the dead rank's vote.
         """
         with self._fail_lock:
             self.errors.append((rank, exc))
+        with self._agree_cv:
+            self.dead.add(rank)
+            self._agree_cv.notify_all()
         self.barrier.abort()
         for dest in range(self.size):
             if dest != rank:
                 self.mailboxes[dest].put((rank, 0, _POISON))
+
+    def revoke(self, rank: int) -> None:
+        """Revoke the communicator on behalf of surviving *rank*.
+
+        Idempotent.  Breaks the barrier and delivers a revocation
+        sentinel to every other mailbox so blocked operations fail with
+        :class:`~repro.errors.CommunicatorRevokedError` instead of
+        timing out one by one.
+        """
+        already = self.revoked.is_set()
+        self.revoked.set()
+        self.barrier.abort()
+        if not already:
+            for dest in range(self.size):
+                if dest != rank:
+                    self.mailboxes[dest].put((rank, 0, _REVOKED))
+        with self._agree_cv:
+            self._agree_cv.notify_all()
 
 
 class Communicator:
@@ -150,6 +220,14 @@ class Communicator:
         self.timeout = timeout
         # Out-of-order receives are stashed here until matched.
         self._stash: list[tuple[int, int, Any]] = []
+        # Outstanding nonblocking requests (for timeout diagnostics).
+        self._pending: list[Request] = []
+        self._pending_lock = threading.Lock()
+
+    def pending_summary(self) -> list[str]:
+        """Summaries of this rank's outstanding nonblocking requests."""
+        with self._pending_lock:
+            return [r.describe() for r in self._pending]
 
     # -- point to point -------------------------------------------------
 
@@ -192,10 +270,24 @@ class Communicator:
             except queue.Empty:
                 raise CommTimeoutError(
                     f"rank {self.rank}: recv(source={source}, tag={tag}) "
-                    f"timed out after {timeout}s — likely a deadlock or "
-                    f"missing send",
+                    f"timed out after {timeout}s — likely a dead peer, "
+                    f"deadlock or missing send",
                     failed_rank=self.rank,
+                    source=source,
+                    dest=self.rank,
+                    tag=tag,
+                    op="recv",
+                    pending=self.pending_summary(),
                 ) from None
+            if payload is _REVOKED:
+                # Re-deliver so other blocked receives on this rank
+                # observe the revocation too.
+                self._world.mailboxes[self.rank].put((src, tg, payload))
+                raise CommunicatorRevokedError(
+                    f"rank {self.rank}: communicator revoked by rank "
+                    f"{src} while we were waiting in recv(source={source},"
+                    f" tag={tag})"
+                )
             if payload is _POISON:
                 # Re-deliver so other blocked receives on this rank (e.g.
                 # irecv workers) observe the failure too.
@@ -214,13 +306,29 @@ class Communicator:
         done = threading.Event()
         done.set()
         return Request(
-            done, _default_timeout=self.timeout, _rank=self.rank
+            done,
+            _default_timeout=self.timeout,
+            _rank=self.rank,
+            _op="isend",
+            _dest=dest,
+            _tag=tag,
+            _comm=self,
         )
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
         """Nonblocking receive; resolve with ``req.wait()``."""
         done = threading.Event()
-        req = Request(done, _default_timeout=self.timeout, _rank=self.rank)
+        req = Request(
+            done,
+            _default_timeout=self.timeout,
+            _rank=self.rank,
+            _op="irecv",
+            _source=source,
+            _tag=tag,
+            _comm=self,
+        )
+        with self._pending_lock:
+            self._pending.append(req)
 
         def _worker() -> None:
             try:
@@ -230,10 +338,60 @@ class Communicator:
                 with self._world._fail_lock:
                     self._world.errors.append((self.rank, exc))
             finally:
+                with self._pending_lock:
+                    if req in self._pending:
+                        self._pending.remove(req)
                 done.set()
 
         threading.Thread(target=_worker, daemon=True).start()
         return req
+
+    # -- failure handling (ULFM-style) ----------------------------------
+
+    def revoke(self) -> None:
+        """Revoke the communicator: wake every rank out of blocking ops.
+
+        Mirrors ULFM ``MPI_Comm_revoke``.  Safe to call from several
+        survivors concurrently.
+        """
+        self._world.revoke(self.rank)
+
+    def agree_failures(
+        self, timeout: float | None = _UNSET
+    ) -> tuple[int, ...]:
+        """Agreement round over the failed-rank set (ULFM ``MPIX_Comm_agree``).
+
+        Blocks until every rank not known dead has entered the round,
+        then returns the agreed, sorted tuple of dead ranks — identical
+        on every survivor.  A rank dying *during* the round is absorbed:
+        its death shrinks the quorum and lands in the returned set.
+        """
+        if timeout is _UNSET:
+            timeout = self.timeout
+        w = self._world
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with w._agree_cv:
+            w._agree_votes.add(self.rank)
+            w._agree_cv.notify_all()
+            while True:
+                alive = set(range(w.size)) - w.dead
+                if alive <= w._agree_votes:
+                    return tuple(sorted(w.dead))
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    missing = sorted(alive - w._agree_votes)
+                    raise CommTimeoutError(
+                        f"rank {self.rank}: failure-agreement round timed"
+                        f" out after {timeout}s waiting for ranks"
+                        f" {missing}",
+                        failed_rank=self.rank,
+                        op="agree",
+                        pending=self.pending_summary(),
+                    )
+                w._agree_cv.wait(remaining)
 
     # -- collectives ----------------------------------------------------
 
@@ -283,7 +441,8 @@ def run_ranks(
     timeout: float = 60.0,
     comm_timeout: float | None = DEFAULT_TIMEOUT,
     comm_wrap: Callable[[Communicator], Any] | None = None,
-) -> list[Any]:
+    return_errors: bool = False,
+) -> list[Any] | tuple[list[Any], list[tuple[int, BaseException]]]:
     """Execute *fn(comm)* on *n_ranks* threads; return per-rank results.
 
     Parameters
@@ -296,10 +455,17 @@ def run_ranks(
         Optional decorator applied to each rank's communicator before it
         is handed to *fn* — the hook the resilience layer uses to splice
         fault injection into the transport.
+    return_errors:
+        When true, rank failures are *returned* instead of re-raised:
+        the call yields ``(results, errors)`` where *errors* is the list
+        of ``(rank, exception)`` pairs in failure order.  This is the
+        mode the survivable runtime uses: survivors return their state
+        normally while the dead rank's exception is reported alongside.
 
-    If a rank raises, the first failure is re-raised in the caller with
-    ``failed_rank`` set to the offending rank id; sibling ranks are woken
-    via mailbox poisoning rather than left to time out.
+    If a rank raises (and *return_errors* is false), the first failure is
+    re-raised in the caller with ``failed_rank`` set to the offending
+    rank id; sibling ranks are woken via mailbox poisoning rather than
+    left to time out.
     """
     if n_ranks < 1:
         raise CommunicationError("need at least one rank")
@@ -327,13 +493,17 @@ def run_ranks(
             raise CommTimeoutError(
                 "simulated MPI run timed out — deadlock suspected"
             )
-    if world.errors:
-        rank, exc = world.errors[0]
+    errors = list(world.errors)
+    for rank, exc in errors:
         if getattr(exc, "failed_rank", None) is None:
             try:
                 exc.failed_rank = rank
             except AttributeError:
                 pass  # exceptions with __slots__: rank stays in the note
+    if return_errors:
+        return results, errors
+    if errors:
+        rank, exc = errors[0]
         if hasattr(exc, "add_note"):
             exc.add_note(f"raised on simulated MPI rank {rank}")
         raise exc

@@ -118,6 +118,24 @@ class Decomposition:
     def n_ranks(self) -> int:
         return len(self.ranks)
 
+    def owner_map(self) -> dict[int, int]:
+        """Map block_id -> owning rank (whole-block decompositions only).
+
+        This is the ownership view the distributed driver executes from;
+        row-split decompositions have no single owner per block and are
+        rejected (they are a performance-model construct).
+        """
+        owner: dict[int, int] = {}
+        for rw in self.ranks:
+            for it in rw.items:
+                if not it.is_whole_block:
+                    raise DecompositionError(
+                        "owner_map requires a whole-block decomposition "
+                        f"(block {it.block.block_id} is row-split)"
+                    )
+                owner[it.block.block_id] = rw.rank
+        return owner
+
     def ranks_of_level(self, level: int) -> list[RankWork]:
         return [rw for rw in self.ranks if rw.level == level]
 
@@ -267,8 +285,9 @@ def equal_cell_assignment(
 
     When there are fewer ranks than grid levels (the paper's 4-socket
     runs), the one-level-per-rank restriction cannot hold; blocks of all
-    levels are then treated as one consecutive sequence and split evenly,
-    so a rank may span adjacent levels.
+    levels are then treated as one consecutive sequence — row-split for
+    balance when ``split_blocks``, whole blocks otherwise — so a rank may
+    span adjacent levels.
     """
     ranks: list[RankWork] = []
     rank_id = 0
@@ -283,7 +302,14 @@ def equal_cell_assignment(
                 ranks.append(RankWork(rank_id, lvl.index, tuple(items)))
                 rank_id += 1
     else:
-        for items in _split_blocks_evenly(grid.all_blocks(), total_ranks):
+        if split_blocks:
+            groups = _split_blocks_evenly(grid.all_blocks(), total_ranks)
+        else:
+            groups = _assign_whole_blocks(
+                sorted(grid.all_blocks(), key=lambda b: b.block_id),
+                total_ranks,
+            )
+        for items in groups:
             ranks.append(
                 RankWork(rank_id, items[0].block.level, tuple(items))
             )

@@ -30,7 +30,6 @@ from repro.core.config import SimulationConfig
 from repro.core.mass import nlmass
 from repro.core.momentum import nlmnt2
 from repro.core.state import BlockState
-from repro.errors import DecompositionError
 from repro.grid.hierarchy import NestedGrid
 from repro.grid.staggered import NGHOST
 from repro.nesting.interp import (
@@ -70,16 +69,7 @@ class _Topology:
 
 
 def _build_topology(grid: NestedGrid, decomp: Decomposition, cfg) -> _Topology:
-    owner: dict[int, int] = {}
-    for rw in decomp.ranks:
-        for it in rw.items:
-            if not it.is_whole_block:
-                raise DecompositionError(
-                    "the distributed driver requires whole-block "
-                    "decompositions (row strips are a performance-model "
-                    "construct)"
-                )
-            owner[it.block.block_id] = rw.rank
+    owner = decomp.owner_map()
 
     seam_specs = []
     tag = 0
@@ -139,24 +129,81 @@ class _RankRuntime:
         self.grid = grid
         self.cfg = cfg
         self.topo = topo
-        g = NGHOST
+        self.bathymetry = bathymetry
+        # Rank-local, mutable ownership view.  It starts as a copy of the
+        # static plan; the survivable runtime retargets entries when it
+        # migrates blocks (straggler hedging), identically on every rank,
+        # so the deterministic exchange order is preserved.
+        self.owner: dict[int, int] = dict(topo.owner)
         self.states: dict[int, BlockState] = {}
         for it in decomp.ranks[comm.rank].items:
             blk = it.block
-            lvl = grid.level(blk.level)
-            depth = bathymetry.sample_cells(
-                (blk.gi0 - g) * lvl.dx,
-                (blk.gj0 - g) * lvl.dx,
-                blk.nx + 2 * g,
-                blk.ny + 2 * g,
-                lvl.dx,
-            )
-            self.states[blk.block_id] = BlockState(
-                blk, lvl.dx, depth, dtype=cfg.dtype
-            )
+            self.states[blk.block_id] = self._make_state(blk)
+
+    def _make_state(self, blk) -> BlockState:
+        g = NGHOST
+        lvl = self.grid.level(blk.level)
+        depth = self.bathymetry.sample_cells(
+            (blk.gi0 - g) * lvl.dx,
+            (blk.gj0 - g) * lvl.dx,
+            blk.nx + 2 * g,
+            blk.ny + 2 * g,
+            lvl.dx,
+        )
+        return BlockState(blk, lvl.dx, depth, dtype=self.cfg.dtype)
 
     def _local(self, block_id: int) -> bool:
         return block_id in self.states
+
+    # -- state capture / restore (diskless checkpoints, migration) -------
+
+    def snapshot_blocks(self, block_ids=None) -> dict[int, tuple]:
+        """Deep-copy the full prognostic state of the given local blocks.
+
+        Returns ``{block_id: (z0, z1, m0, m1, n0, n1, flip)}`` — the same
+        buffer layout as :class:`repro.resilience.checkpoint.Checkpoint`.
+        The arrays are copies: safe to ship over the transport and to
+        keep across subsequent steps.
+        """
+        if block_ids is None:
+            block_ids = self.states.keys()
+        out: dict[int, tuple] = {}
+        for bid in block_ids:
+            st = self.states[bid]
+            out[bid] = (
+                *(a.copy() for a in (*st._z, *st._m, *st._n)),
+                st._flip,
+            )
+        return out
+
+    def restore_blocks(self, data: dict[int, tuple]) -> None:
+        """Overwrite local block states from :meth:`snapshot_blocks` data.
+
+        Entries for blocks this rank does not own are ignored, so the
+        caller can hand every rank the same global restore map.
+        """
+        for bid, st in self.states.items():
+            if bid not in data:
+                continue
+            z0, z1, m0, m1, n0, n1, flip = data[bid]
+            st._z[0][...] = z0
+            st._z[1][...] = z1
+            st._m[0][...] = m0
+            st._m[1][...] = m1
+            st._n[0][...] = n0
+            st._n[1][...] = n1
+            st._flip = flip
+
+    def adopt_blocks(self, data: dict[int, tuple]) -> None:
+        """Take ownership of blocks migrated from another rank."""
+        for bid in data:
+            self.states[bid] = self._make_state(self.grid.block(bid))
+        self.restore_blocks(data)
+
+    def drop_blocks(self, block_ids) -> None:
+        """Release ownership of blocks migrated to another rank."""
+        for bid in list(block_ids):
+            self.states.pop(bid, None)
 
     def _field(self, state: BlockState, name: str) -> np.ndarray:
         return {"z": state.z_new, "m": state.m_new, "n": state.n_new}[name]
@@ -178,8 +225,8 @@ class _RankRuntime:
         for spec, tag in self.topo.seam_specs:
             if spec.field not in fields:
                 continue
-            src_rank = self.topo.owner[spec.src_block]
-            dst_rank = self.topo.owner[spec.dst_block]
+            src_rank = self.owner[spec.src_block]
+            dst_rank = self.owner[spec.dst_block]
             if src_rank == dst_rank == self.comm.rank:
                 src = self._field(self.states[spec.src_block], spec.field)
                 dst = self._field(self.states[spec.dst_block], spec.field)
@@ -201,8 +248,8 @@ class _RankRuntime:
         for lvl in reversed(self.grid.levels[1:]):
             sends = [p for p in self.topo.jnz_pairs if p[0] == lvl.index]
             for _lv, child_id, parent_id, regions, tag in sends:
-                c_rank = self.topo.owner[child_id]
-                p_rank = self.topo.owner[parent_id]
+                c_rank = self.owner[child_id]
+                p_rank = self.owner[parent_id]
                 child = self.grid.block(child_id)
                 parent = self.grid.block(parent_id)
                 if c_rank == p_rank == self.comm.rank:
@@ -219,8 +266,8 @@ class _RankRuntime:
                     )
                     self.comm.send(buf, dest=p_rank, tag=_TAG_JNZ + tag)
             for _lv, child_id, parent_id, regions, tag in sends:
-                c_rank = self.topo.owner[child_id]
-                p_rank = self.topo.owner[parent_id]
+                c_rank = self.owner[child_id]
+                p_rank = self.owner[parent_id]
                 if p_rank == self.comm.rank and c_rank != self.comm.rank:
                     buf = self.comm.recv(source=c_rank, tag=_TAG_JNZ + tag)
                     unpack_restriction(
@@ -245,8 +292,8 @@ class _RankRuntime:
                 if self.grid.block(p[0]).level == lvl.index
             ]
             for child_id, parent_id, segs, tag in pairs:
-                c_rank = self.topo.owner[child_id]
-                p_rank = self.topo.owner[parent_id]
+                c_rank = self.owner[child_id]
+                p_rank = self.owner[parent_id]
                 child = self.grid.block(child_id)
                 parent = self.grid.block(parent_id)
                 if p_rank == self.comm.rank:
@@ -260,8 +307,8 @@ class _RankRuntime:
                     else:
                         self.comm.send(buf, dest=c_rank, tag=_TAG_JNQ + tag)
             for child_id, parent_id, segs, tag in pairs:
-                c_rank = self.topo.owner[child_id]
-                p_rank = self.topo.owner[parent_id]
+                c_rank = self.owner[child_id]
+                p_rank = self.owner[parent_id]
                 if c_rank == self.comm.rank and p_rank != self.comm.rank:
                     buf = self.comm.recv(source=p_rank, tag=_TAG_JNQ + tag)
                     cs = self.states[child_id]

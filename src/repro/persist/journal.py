@@ -25,6 +25,25 @@ from repro.obs.trace import span as _span
 #: backwards — including across a crash/resume boundary.
 JOURNAL_VERSION = 2
 
+#: Event names the survivable distributed runtime journals
+#: (:mod:`repro.resilience.survive`).  ``rank_failure`` records each
+#: detected in-flight rank loss; ``recovery_epoch`` records the diskless
+#: checkpoint epoch the run resumed from and the action taken
+#: (shrink / respawn / epoch_retry / restart_scratch /
+#: fallback_single_process).
+EVENT_RANK_FAILURE = "rank_failure"
+EVENT_RECOVERY_EPOCH = "recovery_epoch"
+
+
+def recovery_epochs(events: list[dict]) -> list[dict]:
+    """The journal's recovery-epoch records, in write order.
+
+    Convenience filter for inspection tooling and tests: each returned
+    record tells from which buddy-checkpoint epoch (and model step) an
+    incarnation resumed, and why.
+    """
+    return [ev for ev in events if ev.get("event") == EVENT_RECOVERY_EPOCH]
+
 
 class RunJournal:
     """Append-only, fsync-on-write event log for one run directory."""

@@ -18,7 +18,11 @@ failure.  It provides:
 * :class:`RecoveryEngine` / :func:`run_resilient_forecast` — the
   resilient integration loop and its one-call orchestrator;
 * :func:`resilient_run_distributed` — retry-with-backoff and
-  single-process fallback for the simulated-MPI pipeline.
+  single-process fallback for the simulated-MPI pipeline;
+* :func:`survivable_run_distributed` — in-flight rank-failure survival:
+  ULFM-style revoke/agree, diskless neighbor checkpoints, shrinking
+  recovery or spare-rank respawn, and MAD-based straggler hedging
+  (:mod:`repro.resilience.survive`).
 """
 
 from repro.resilience.checkpoint import Checkpoint, CheckpointRing
@@ -30,11 +34,12 @@ from repro.resilience.deadline import (
 )
 from repro.resilience.faultplan import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.resilience.forecast import run_resilient_forecast
-from repro.resilience.health import HealthMonitor
+from repro.resilience.health import HealthMonitor, StepTimeMonitor
 from repro.resilience.inject import (
     FaultyComm,
     RankCrashError,
     corrupt_state,
+    maybe_crash_at_step,
     nonfinite_blocks,
 )
 from repro.resilience.recovery import (
@@ -45,6 +50,14 @@ from repro.resilience.recovery import (
     retry_with_backoff,
 )
 from repro.resilience.report import ForecastReport
+from repro.resilience.survive import (
+    NeighborCheckpointStore,
+    RankSnapshot,
+    SurvivalConfig,
+    SurvivalReport,
+    buddy_of,
+    survivable_run_distributed,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -68,4 +81,12 @@ __all__ = [
     "retry_with_backoff",
     "run_resilient_forecast",
     "ForecastReport",
+    "StepTimeMonitor",
+    "maybe_crash_at_step",
+    "NeighborCheckpointStore",
+    "RankSnapshot",
+    "SurvivalConfig",
+    "SurvivalReport",
+    "buddy_of",
+    "survivable_run_distributed",
 ]

@@ -13,6 +13,13 @@ Fault kinds
 -----------
 ``rank_crash``
     Rank *rank* raises on its *op*-th transport send (the rank dies).
+    With ``step`` instead of ``op`` the crash fires at the top of model
+    step *step* (via :func:`repro.resilience.inject.maybe_crash_at_step`
+    in the survivable runtime) — "kill rank 2 at 80% progress".  With
+    ``phase`` set ("halo" or "ckpt") the crash targets the first send
+    inside that communication phase at or after *op* (default: the
+    phase's first send), so chaos tests can force a death mid
+    halo-exchange or mid checkpoint-replication specifically.
 ``msg_drop``
     Rank *rank*'s *op*-th send is silently swallowed; the receiver times
     out with :class:`~repro.errors.CommTimeoutError`.
@@ -81,12 +88,18 @@ class FaultSpec:
     value: float = math.nan
     delay_s: float = 0.02
     factor: float = 4.0
+    phase: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r}; expected one of "
                 f"{FAULT_KINDS}"
+            )
+        if self.phase not in (None, "halo", "ckpt"):
+            raise ConfigurationError(
+                f"unknown fault phase {self.phase!r}; expected "
+                f"None, 'halo' or 'ckpt'"
             )
         if self.kind in COMM_KINDS and self.rank is None:
             raise ConfigurationError(f"{self.kind} fault needs a rank")
@@ -108,6 +121,8 @@ class FaultSpec:
             parts.append(f"op={self.op}")
         if self.step is not None:
             parts.append(f"step={self.step}")
+        if self.phase is not None:
+            parts.append(f"phase={self.phase}")
         if self.kind == "straggler":
             parts.append(f"x{self.factor:g}")
         if self.kind == "nan":
@@ -230,11 +245,16 @@ class FaultPlan:
             if consume:
                 self._consumed.add(idx)
 
-    def comm_action(self, rank: int, op: int) -> FaultSpec | None:
+    def comm_action(
+        self, rank: int, op: int, phase: str | None = None
+    ) -> FaultSpec | None:
         """Fault (if any) to apply to *rank*'s *op*-th send.
 
         One-shot faults (crash/drop/delay) are consumed; stragglers keep
-        applying from their start op onward.
+        applying from their start op onward.  *phase* is the transport
+        phase the injector is currently in ("halo", "ckpt" or ``None``);
+        phase-targeted faults fire on the first send inside their phase
+        at or after their *op* (default: immediately).
         """
         with self._lock:
             candidates = [
@@ -249,9 +269,36 @@ class FaultPlan:
                 if f.op is not None and op >= f.op:
                     self._mark(i, consume=False)
                     return f
+            elif f.phase is not None:
+                if f.phase == phase and (f.op is None or op >= f.op):
+                    self._mark(i, consume=True)
+                    return f
             elif f.op == op:
                 self._mark(i, consume=True)
                 return f
+        return None
+
+    def crash_at_step(self, rank: int, step: int) -> FaultSpec | None:
+        """Unconsumed step-scheduled crash of *rank* at *step*, if any.
+
+        Step-scheduled crashes (``rank_crash`` with ``step`` set and no
+        ``op``/``phase``) fire at the top of the model step, before the
+        step's checkpoint — so recovery genuinely resumes from an
+        *earlier* epoch.  Consumed on return, like every one-shot fault.
+        """
+        with self._lock:
+            for i, f in enumerate(self.faults):
+                if (
+                    f.kind == "rank_crash"
+                    and f.rank == rank
+                    and f.step == step
+                    and f.op is None
+                    and f.phase is None
+                    and i not in self._consumed
+                ):
+                    self._triggered.add(i)
+                    self._consumed.add(i)
+                    return f
         return None
 
     def state_faults_at(self, step: int) -> list[FaultSpec]:

@@ -119,3 +119,45 @@ class HealthMonitor:
                         f"step {model.step_count}: mass-conservation "
                         f"drift {drift:.2%} exceeds {self.mass_tol:.2%}"
                     )
+
+
+class StepTimeMonitor:
+    """MAD-based straggler detection over per-rank step times.
+
+    Classic robust outlier test: a rank is a straggler when its window
+    time exceeds ``median + mad_k * 1.4826 * MAD`` (1.4826 scales the
+    median absolute deviation to a normal-equivalent sigma).  A second
+    guard, ``min_ratio``, requires the rank to be at least that factor
+    slower than the median — without it, a near-zero MAD (all ranks in
+    lockstep) would flag microsecond jitter.
+
+    The monitor is stateless and pure: every rank feeds it the same
+    allreduce-shared ``{rank: seconds}`` map and deterministically
+    computes the same verdict, which is what lets the survivable runtime
+    make coordinated hedging decisions without a leader.
+    """
+
+    def __init__(self, mad_k: float = 3.5, min_ratio: float = 1.5) -> None:
+        if mad_k <= 0 or min_ratio < 1.0:
+            raise ValueError("mad_k must be > 0 and min_ratio >= 1")
+        self.mad_k = mad_k
+        self.min_ratio = min_ratio
+
+    def stragglers(self, per_rank_seconds: dict[int, float]) -> list[int]:
+        """Ranks flagged as stragglers, worst (largest excess) first."""
+        if len(per_rank_seconds) < 3:
+            return []  # no robust statistics from fewer than 3 samples
+        times = np.array(
+            [per_rank_seconds[r] for r in sorted(per_rank_seconds)]
+        )
+        med = float(np.median(times))
+        mad = float(np.median(np.abs(times - med)))
+        threshold = max(med + self.mad_k * 1.4826 * mad,
+                        self.min_ratio * med)
+        flagged = [
+            (per_rank_seconds[r] - threshold, r)
+            for r in per_rank_seconds
+            if per_rank_seconds[r] > threshold
+        ]
+        flagged.sort(key=lambda ex_r: (-ex_r[0], ex_r[1]))
+        return [r for _ex, r in flagged]

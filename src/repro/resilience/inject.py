@@ -52,6 +52,7 @@ class FaultyComm:
         self._comm = comm
         self._plan = plan
         self._op = 0
+        self._phase: str | None = None
 
     @property
     def rank(self) -> int:
@@ -65,10 +66,19 @@ class FaultyComm:
     def timeout(self):
         return self._comm.timeout
 
+    def set_phase(self, phase: str | None) -> None:
+        """Mark the current transport phase ("halo", "ckpt" or None).
+
+        The survivable runtime brackets its communication phases with
+        this so phase-targeted crash faults can hit exactly the
+        halo-exchange or checkpoint-replication window.
+        """
+        self._phase = phase
+
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         op = self._op
         self._op += 1
-        spec = self._plan.comm_action(self.rank, op)
+        spec = self._plan.comm_action(self.rank, op, phase=self._phase)
         if spec is not None:
             if spec.kind == "rank_crash":
                 raise RankCrashError(
@@ -88,6 +98,23 @@ class FaultyComm:
         # issued inside collectives are not double-counted — acceptable:
         # the op counter tracks direct transport sends).
         return getattr(self._comm, name)
+
+
+def maybe_crash_at_step(plan: FaultPlan | None, rank: int, step: int) -> None:
+    """Fire a step-scheduled crash of *rank* at *step*, if one is planned.
+
+    Raises :class:`RankCrashError`; a no-op without a matching
+    unconsumed ``rank_crash`` spec.  Called by the survivable runtime at
+    the top of every model step, *before* that step's checkpoint.
+    """
+    if plan is None:
+        return
+    spec = plan.crash_at_step(rank, step)
+    if spec is not None:
+        raise RankCrashError(
+            f"injected crash of rank {rank} at step {step}",
+            failed_rank=rank,
+        )
 
 
 def corrupt_state(states: dict, spec: FaultSpec) -> int | None:

@@ -23,6 +23,7 @@ timed-out simulated MPI, then a single-process fallback — lives in
 from __future__ import annotations
 
 import math
+import random
 import time
 from dataclasses import dataclass, replace
 
@@ -417,14 +418,40 @@ def retry_with_backoff(
     backoff_s: float = 0.05,
     retry_on=(CommunicationError,),
     on_retry=None,
+    jitter: bool = True,
+    max_elapsed_s: float | None = None,
+    rng=None,
 ):
     """Call *fn()* with exponential backoff on the given exceptions.
 
     Returns *fn*'s value; re-raises the last exception once *attempts*
-    are exhausted.  *on_retry(attempt, exc)* observes each failure.
+    are exhausted or *max_elapsed_s* of wall clock (calls plus sleeps)
+    has been spent.  *on_retry(attempt, exc)* observes each failure.
+
+    With *jitter* (the default) each sleep is drawn uniformly from
+    ``[0, backoff_s * 2**attempt]`` — AWS-style "full jitter".  Every
+    rank of a distributed run retries after the same fault at the same
+    moment; deterministic backoff keeps them aligned so each retry storm
+    hits the transport as one spike.  Full jitter decorrelates them
+    while never sleeping longer than the deterministic schedule.  Pass a
+    seeded ``random.Random`` as *rng* for reproducible jitter.
+
+    *max_elapsed_s* bounds the total time the retry loop may consume —
+    the deadline-aware guard: a forecaster that can spend at most N
+    seconds recovering must not let exponential backoff eat the whole
+    deadline.  Sleeps are truncated to the remaining budget and no new
+    attempt starts once the budget is spent.
     """
+    draw = rng.uniform if rng is not None else random.uniform
+    start = time.monotonic()
     last: BaseException | None = None
     for attempt in range(attempts):
+        if (
+            attempt > 0
+            and max_elapsed_s is not None
+            and time.monotonic() - start >= max_elapsed_s
+        ):
+            break
         try:
             return fn()
         except retry_on as exc:  # noqa: PERF203 - retry loop
@@ -432,7 +459,15 @@ def retry_with_backoff(
             if on_retry is not None:
                 on_retry(attempt, exc)
             if attempt < attempts - 1:
-                time.sleep(backoff_s * (2**attempt))
+                delay = backoff_s * (2**attempt)
+                if jitter:
+                    delay = draw(0.0, delay)
+                if max_elapsed_s is not None:
+                    budget_left = max_elapsed_s - (
+                        time.monotonic() - start
+                    )
+                    delay = min(delay, max(0.0, budget_left))
+                time.sleep(delay)
     raise last
 
 

@@ -185,3 +185,123 @@ def test_transport_surface_chaos(seed):
     ]
     if not fatal:
         assert kinds.count("fallback_single_process") == 0
+
+
+# -- survival surface: phase-targeted crashes (10 scenarios) --------------
+#
+# The in-flight survival tentpole: a rank dies *inside* a specific
+# communication phase — mid halo-exchange or mid checkpoint-replication
+# — and the run must still complete within a wall-clock deadline via
+# shrink or spare-rank respawn, bitwise identical to the failure-free
+# reference.  Each seed varies the victim rank and how deep into the run
+# (send-op count) the crash lands.
+
+SURVIVE_N_STEPS = 16
+SURVIVE_DEADLINE_S = 60.0
+HALO_CRASH_SEEDS = list(range(200, 205))
+CKPT_CRASH_SEEDS = list(range(300, 305))
+
+
+def survive_grid():
+    return NestedGrid(
+        [
+            GridLevel(
+                index=1,
+                dx=100.0,
+                blocks=[
+                    Block(0, 1, 0, 0, 16, 48),
+                    Block(1, 1, 16, 0, 16, 48),
+                    Block(2, 1, 32, 0, 16, 48),
+                ],
+            )
+        ]
+    )
+
+
+def survive_reference():
+    model = RTiModel(survive_grid(), FlatBathymetry(50.0), config())
+    model.set_initial_condition(source())
+    model.run(SURVIVE_N_STEPS)
+    return {
+        bid: st.eta_interior().copy() for bid, st in model.states.items()
+    }
+
+
+def _phase_crash_scenario(seed, phase):
+    import random as _random
+    import time as _time
+
+    from repro.resilience import FaultSpec, SurvivalConfig
+    from repro.resilience.survive import survivable_run_distributed
+
+    rng = _random.Random(seed)
+    grid = survive_grid()
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="rank_crash",
+                rank=rng.randrange(3),
+                phase=phase,
+                # Vary how deep into the run the crash lands: each step
+                # issues several sends per rank, so spreading the op
+                # threshold over [0, 60) covers early/mid/late deaths.
+                op=rng.randrange(0, 60),
+            )
+        ],
+        seed=seed,
+    )
+    spares = seed % 2  # alternate respawn- and shrink-shaped recoveries
+    decomp = equal_cell_assignment(grid, 3, split_blocks=False)
+    t0 = _time.monotonic()
+    eta, report = survivable_run_distributed(
+        grid,
+        FlatBathymetry(50.0),
+        config(),
+        decomp,
+        source(),
+        SURVIVE_N_STEPS,
+        survival=SurvivalConfig(
+            checkpoint_every=4, spare_ranks=spares, max_rank_failures=3
+        ),
+        fault_plan=plan,
+        timeout=120.0,
+        comm_timeout=2.0,
+    )
+    elapsed = _time.monotonic() - t0
+
+    # Invariant 1: recovery is fast enough to matter operationally.
+    assert elapsed < SURVIVE_DEADLINE_S, (
+        f"seed {seed}: recovery took {elapsed:.1f}s"
+    )
+
+    # Invariant 2: the answer is bitwise the failure-free one.
+    ref = survive_reference()
+    assert eta.keys() == ref.keys()
+    for bid in ref:
+        assert np.array_equal(eta[bid], ref[bid]), f"block {bid} diverged"
+
+    # Invariant 3: the report attributes the recovery to the fault.
+    if plan.triggered:
+        assert report.rank_failures >= 1
+        assert (
+            report.respawns + report.shrinks >= 1
+            or report.breaker_tripped
+        ), f"seed {seed}: crash fired but no recovery action recorded"
+        if spares:
+            assert report.respawns >= 1, (
+                f"seed {seed}: spare available but not used"
+            )
+    else:
+        # An op threshold past the run's total send count: clean run.
+        assert report.rank_failures == 0
+        assert len(report.incarnations) == 1
+
+
+@pytest.mark.parametrize("seed", HALO_CRASH_SEEDS)
+def test_crash_during_halo_exchange(seed):
+    _phase_crash_scenario(seed, "halo")
+
+
+@pytest.mark.parametrize("seed", CKPT_CRASH_SEEDS)
+def test_crash_during_checkpoint_replication(seed):
+    _phase_crash_scenario(seed, "ckpt")

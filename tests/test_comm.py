@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.errors import CommunicationError
+from repro.errors import (
+    CommTimeoutError,
+    CommunicationError,
+    CommunicatorRevokedError,
+)
 from repro.par.comm import ANY_SOURCE, Communicator, run_ranks
 
 
@@ -125,6 +129,96 @@ class TestErrorPropagation:
 
         with pytest.raises(CommunicationError):
             run_ranks(2, fn)
+
+
+class TestTimeoutContext:
+    """Timeout errors must say *what* was pending, not just that time ran out."""
+
+    def test_recv_timeout_carries_endpoints(self):
+        def fn(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, tag=7, timeout=0.2)
+            return None
+
+        _results, errors = run_ranks(2, fn, return_errors=True)
+        assert len(errors) == 1
+        rank, exc = errors[0]
+        assert rank == 1
+        assert isinstance(exc, CommTimeoutError)
+        assert exc.source == 0
+        assert exc.dest == 1
+        assert exc.tag == 7
+        assert exc.op == "recv"
+        assert "tag=7" in str(exc)
+
+    def test_irecv_wait_timeout_lists_pending_requests(self):
+        def fn(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0, tag=3)
+                req.wait(timeout=0.2)
+            return None
+
+        _results, errors = run_ranks(
+            2, fn, timeout=10.0, comm_timeout=0.5, return_errors=True
+        )
+        waits = [
+            e
+            for _r, e in errors
+            if isinstance(e, CommTimeoutError) and e.op == "irecv"
+        ]
+        assert waits, f"no irecv timeout surfaced: {errors}"
+        exc = waits[0]
+        assert exc.source == 0
+        assert exc.tag == 3
+        assert any("irecv(source=0, tag=3)" in p for p in exc.pending)
+
+    def test_return_errors_does_not_raise(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            return "survivor"
+
+        results, errors = run_ranks(2, fn, return_errors=True)
+        assert results[1] == "survivor"
+        assert [r for r, _e in errors] == [0]
+
+
+class TestRevokeAndAgree:
+    """ULFM-style revocation + agreement on the dead-rank set."""
+
+    def test_revoke_releases_blocked_receiver(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.revoke()
+                return "revoker"
+            try:
+                comm.recv(source=0, timeout=10.0)
+            except CommunicatorRevokedError:
+                return "released"
+
+        results = run_ranks(2, fn, timeout=10.0)
+        assert results == ["revoker", "released"]
+
+    def test_agree_converges_on_dead_set(self):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("dead rank")
+            try:
+                comm.recv(source=2, timeout=5.0)
+            except CommunicationError:
+                comm.revoke()
+                return comm.agree_failures(timeout=5.0)
+
+        results, errors = run_ranks(3, fn, timeout=20.0, return_errors=True)
+        assert [r for r, _e in errors] == [2]
+        assert results[0] == (2,)
+        assert results[1] == (2,)
+
+    def test_agree_with_no_failures_returns_empty(self):
+        results = run_ranks(
+            2, lambda c: c.agree_failures(timeout=5.0), timeout=10.0
+        )
+        assert results == [(), ()]
 
 
 class TestHaloPipelineOverSimulatedMPI:

@@ -15,7 +15,7 @@ from repro.par.decomposition import (
     equal_cell_assignment,
     ranks_per_level,
 )
-from repro.topo import build_kochi_grid
+from repro.topo import build_kochi_grid, build_mini_kochi
 
 
 def simple_grid():
@@ -108,6 +108,18 @@ class TestEqualCellAssignment:
         d = equal_cell_assignment(simple_grid(), 1)
         assert d.n_ranks == 1
         assert d.ranks[0].n_cells == simple_grid().n_cells
+
+    def test_whole_block_mode_fewer_ranks_than_levels(self):
+        # The distributed driver needs owner_map() to work for any rank
+        # count, including fewer ranks than grid levels (few-socket runs).
+        grid = build_mini_kochi().grid
+        for n in (2, 3, 4):
+            d = equal_cell_assignment(grid, n, split_blocks=False)
+            owner = d.owner_map()  # raises if anything is row-split
+            assert set(owner) == {
+                b.block_id for b in grid.all_blocks()
+            }
+            assert set(owner.values()) == set(range(n))
 
     def test_kochi_no_rank_spans_levels_at_16(self):
         grid = build_kochi_grid()

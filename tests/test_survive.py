@@ -1,0 +1,488 @@
+"""In-flight rank-failure survival (repro.resilience.survive).
+
+The tentpole contract: kill a rank mid-run and the distributed forecast
+completes from the latest diskless buddy-checkpoint epoch — not from
+t=0 — via shrink or spare-rank respawn, **bitwise identical** to a
+failure-free run.  Plus the supporting machinery: buddy checkpointing,
+shrink re-decomposition, MAD straggler detection, jittered retry
+backoff, and straggler hedging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RTiModel, SimulationConfig
+from repro.errors import (
+    CommunicationError,
+    ConfigurationError,
+    DecompositionError,
+)
+from repro.fault import GaussianSource
+from repro.grid.block import Block
+from repro.grid.hierarchy import NestedGrid
+from repro.grid.level import GridLevel
+from repro.par.decomposition import (
+    Decomposition,
+    RankWork,
+    WorkItem,
+    equal_cell_assignment,
+)
+from repro.persist import RunStore
+from repro.persist.journal import (
+    EVENT_RANK_FAILURE,
+    EVENT_RECOVERY_EPOCH,
+    recovery_epochs,
+)
+from repro.resilience import FaultPlan, FaultSpec, retry_with_backoff
+from repro.resilience.health import StepTimeMonitor
+from repro.resilience.survive import (
+    NeighborCheckpointStore,
+    RankSnapshot,
+    SurvivalConfig,
+    _assemble_recovery,
+    buddy_of,
+    survivable_run_distributed,
+)
+from repro.topo import build_mini_kochi
+from repro.validation import FlatBathymetry
+
+
+def flat_grid(n_blocks=2):
+    w = 48 // n_blocks
+    return NestedGrid(
+        [
+            GridLevel(
+                index=1,
+                dx=100.0,
+                blocks=[
+                    Block(i, 1, i * w, 0, w, 48) for i in range(n_blocks)
+                ],
+            )
+        ]
+    )
+
+
+def whole_block_decomp(grid, n_ranks):
+    return Decomposition(
+        grid,
+        tuple(
+            RankWork(r, 1, (WorkItem(grid.block(r)),))
+            for r in range(n_ranks)
+        ),
+    )
+
+
+def source():
+    return GaussianSource(x0=2400.0, y0=2400.0, amplitude=1.0, sigma=600.0)
+
+
+def config():
+    return SimulationConfig(dt=1.0, boundary="wall")
+
+
+def reference_run(grid, bathy, cfg, src, n_steps):
+    model = RTiModel(grid, bathy, cfg)
+    model.set_initial_condition(src)
+    model.run(n_steps)
+    return {
+        bid: st.eta_interior().copy() for bid, st in model.states.items()
+    }
+
+
+def assert_identical(a: dict, b: dict):
+    assert a.keys() == b.keys()
+    for bid in a:
+        assert np.array_equal(a[bid], b[bid]), (
+            f"block {bid}: max diff {np.abs(a[bid] - b[bid]).max()}"
+        )
+
+
+# -- unit: ring buddies and the checkpoint store -------------------------
+
+
+class TestNeighborCheckpointStore:
+    def test_buddy_ring(self):
+        assert buddy_of(0, 4) == 1
+        assert buddy_of(3, 4) == 0
+        assert buddy_of(0, 1) == 0
+
+    def snap(self, epoch, rank=0):
+        return RankSnapshot(
+            epoch=epoch, step=epoch * 10, rank=rank,
+            blocks={rank: (np.zeros(2),) * 6 + (0,)},
+        )
+
+    def test_capacity_prunes_oldest(self):
+        store = NeighborCheckpointStore(capacity=2)
+        for e in range(4):
+            store.put_own(self.snap(e))
+            store.put_replica(self.snap(e, rank=1))
+        assert sorted(store.own) == [2, 3]
+        assert sorted(store.replicas) == [2, 3]
+        assert store.epochs() == [2, 3]
+
+    def test_assemble_picks_latest_complete_epoch(self):
+        grid = flat_grid(2)
+        s0, s1 = (NeighborCheckpointStore() for _ in range(2))
+        for e in (1, 2):
+            s0.put_own(RankSnapshot(e, e * 10, 0, {0: ("b0",)}))
+            s1.put_own(RankSnapshot(e, e * 10, 1, {1: ("b1",)}))
+        # Epoch 3 exists only on rank 0: incomplete, must be skipped.
+        s0.put_own(RankSnapshot(3, 30, 0, {0: ("b0",)}))
+        epoch, step, blocks = _assemble_recovery(grid, [s0, s1])
+        assert (epoch, step) == (2, 20)
+        assert set(blocks) == {0, 1}
+
+    def test_assemble_uses_buddy_replica_for_dead_rank(self):
+        grid = flat_grid(2)
+        # Only rank 0's store survives; it holds rank 1's state as the
+        # ring replica (1's buddy is 0 in a 2-rank ring).
+        s0 = NeighborCheckpointStore()
+        s0.put_own(RankSnapshot(5, 50, 0, {0: ("b0",)}))
+        s0.put_replica(RankSnapshot(5, 50, 1, {1: ("b1",)}))
+        epoch, step, blocks = _assemble_recovery(grid, [s0])
+        assert (epoch, step) == (5, 50)
+        assert set(blocks) == {0, 1}
+
+    def test_assemble_none_when_no_complete_epoch(self):
+        grid = flat_grid(2)
+        s0 = NeighborCheckpointStore()
+        s0.put_own(RankSnapshot(0, 0, 0, {0: ("b0",)}))
+        assert _assemble_recovery(grid, [s0]) is None
+
+
+class TestSurvivalConfig:
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            SurvivalConfig(policy="pray")
+
+    def test_rejects_single_epoch_store(self):
+        with pytest.raises(ConfigurationError):
+            SurvivalConfig(store_capacity=1)
+
+    def test_rejects_negative_spares(self):
+        with pytest.raises(ConfigurationError):
+            SurvivalConfig(spare_ranks=-1)
+
+
+# -- unit: shrink re-decomposition ---------------------------------------
+
+
+class TestShrinkDecomposition:
+    def test_covers_all_blocks_on_fewer_ranks(self):
+        from repro.balance.apply import shrink_decomposition
+
+        mk = build_mini_kochi()
+        all_ids = {b.block_id for b in mk.grid.all_blocks()}
+        for n in (1, 3, 4):
+            d = shrink_decomposition(mk.grid, n, iterations=50)
+            assert d.n_ranks == n
+            seen = [
+                it.block.block_id for rw in d.ranks for it in rw.items
+            ]
+            assert sorted(seen) == sorted(all_ids)
+
+    def test_rejects_more_ranks_than_blocks(self):
+        from repro.balance.apply import shrink_decomposition
+
+        grid = flat_grid(2)
+        with pytest.raises(DecompositionError):
+            shrink_decomposition(grid, 3)
+
+
+# -- unit: MAD straggler detection ---------------------------------------
+
+
+class TestStepTimeMonitor:
+    def test_flags_obvious_straggler(self):
+        mon = StepTimeMonitor()
+        per = {0: 0.10, 1: 0.11, 2: 0.10, 3: 0.55}
+        assert mon.stragglers(per) == [3]
+
+    def test_lockstep_ranks_not_flagged(self):
+        mon = StepTimeMonitor()
+        per = {0: 0.100, 1: 0.1001, 2: 0.0999, 3: 0.1002}
+        assert mon.stragglers(per) == []
+
+    def test_needs_three_samples(self):
+        mon = StepTimeMonitor()
+        assert mon.stragglers({0: 0.1, 1: 99.0}) == []
+
+    def test_worst_first_ordering(self):
+        mon = StepTimeMonitor(min_ratio=1.2)
+        per = {0: 0.1, 1: 0.1, 2: 0.1, 3: 0.4, 4: 0.9}
+        assert mon.stragglers(per) == [4, 3]
+
+
+# -- unit: jittered, budgeted retry backoff ------------------------------
+
+
+class TestRetryBackoff:
+    def _failing(self, n_failures):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= n_failures:
+                raise CommunicationError("transient")
+            return "ok"
+
+        return fn, calls
+
+    def test_full_jitter_sleeps_within_exponential_envelope(
+        self, monkeypatch
+    ):
+        import random
+
+        import repro.resilience.recovery as rec
+
+        sleeps = []
+        monkeypatch.setattr(rec.time, "sleep", sleeps.append)
+        fn, _ = self._failing(3)
+        out = retry_with_backoff(
+            fn, attempts=4, backoff_s=0.1, rng=random.Random(7)
+        )
+        assert out == "ok"
+        assert len(sleeps) == 3
+        for i, s in enumerate(sleeps):
+            assert 0.0 <= s <= 0.1 * 2**i
+
+    def test_seeded_rng_reproducible(self, monkeypatch):
+        import random
+
+        import repro.resilience.recovery as rec
+
+        runs = []
+        for _ in range(2):
+            sleeps = []
+            monkeypatch.setattr(rec.time, "sleep", sleeps.append)
+            fn, _ = self._failing(2)
+            retry_with_backoff(
+                fn, attempts=3, backoff_s=0.1, rng=random.Random(42)
+            )
+            runs.append(sleeps)
+        assert runs[0] == runs[1]
+
+    def test_max_elapsed_caps_attempts(self, monkeypatch):
+        import repro.resilience.recovery as rec
+
+        t = {"now": 0.0}
+        monkeypatch.setattr(rec.time, "monotonic", lambda: t["now"])
+
+        def sleep(s):
+            t["now"] += s
+
+        monkeypatch.setattr(rec.time, "sleep", sleep)
+        fn, calls = self._failing(99)
+        with pytest.raises(CommunicationError):
+            retry_with_backoff(
+                fn,
+                attempts=10,
+                backoff_s=0.05,
+                jitter=False,
+                max_elapsed_s=0.12,
+            )
+        # Sleep 0.05, then 0.10 truncated to the remaining 0.07: the
+        # 0.12 s budget is spent after 2 calls, not 10.
+        assert calls["n"] == 2
+
+
+# -- integration: the survival paths, all bitwise ------------------------
+
+
+class TestSurvivableRuns:
+    N_STEPS = 30
+
+    def setup_run(self, n_blocks=2):
+        grid = flat_grid(n_blocks)
+        bathy = FlatBathymetry(50.0)
+        cfg = config()
+        src = source()
+        ref = reference_run(grid, bathy, cfg, src, self.N_STEPS)
+        return grid, bathy, cfg, src, ref
+
+    def test_failure_free_is_plain_distributed(self):
+        grid, bathy, cfg, src, ref = self.setup_run()
+        eta, report = survivable_run_distributed(
+            grid, bathy, cfg, whole_block_decomp(grid, 2), src,
+            self.N_STEPS, survival=SurvivalConfig(checkpoint_every=5),
+            timeout=120.0, comm_timeout=10.0,
+        )
+        assert_identical(ref, eta)
+        assert report.completed_via == "distributed"
+        assert len(report.incarnations) == 1
+        assert report.rank_failures == 0
+
+    def test_crash_recovers_by_shrinking_not_from_t0(self, tmp_path):
+        grid, bathy, cfg, src, ref = self.setup_run()
+        plan = FaultPlan(
+            [FaultSpec(kind="rank_crash", rank=1, step=24)], seed=1
+        )
+        store = RunStore(tmp_path / "run")
+        eta, report = survivable_run_distributed(
+            grid, bathy, cfg, whole_block_decomp(grid, 2), src,
+            self.N_STEPS, survival=SurvivalConfig(checkpoint_every=5),
+            fault_plan=plan, store=store, timeout=120.0, comm_timeout=5.0,
+        )
+        assert_identical(ref, eta)
+        assert report.shrinks == 1 and report.rank_failures == 1
+        # Resumed from epoch 4 (step 20) — not from t=0.
+        last = report.incarnations[-1]
+        assert last.action == "shrink"
+        assert last.n_ranks == 1
+        assert 0 < last.start_step <= 24
+        # The failure and the recovery epoch are journaled write-ahead.
+        events = store.events()
+        assert any(
+            ev["event"] == EVENT_RANK_FAILURE and ev["ranks"] == [1]
+            for ev in events
+        )
+        recs = recovery_epochs(events)
+        assert recs and recs[0]["action"] == "shrink"
+        assert recs[0]["step"] == last.start_step
+
+    def test_crash_recovers_by_respawning_spare(self):
+        grid, bathy, cfg, src, ref = self.setup_run()
+        plan = FaultPlan(
+            [FaultSpec(kind="rank_crash", rank=0, step=24)], seed=2
+        )
+        eta, report = survivable_run_distributed(
+            grid, bathy, cfg, whole_block_decomp(grid, 2), src,
+            self.N_STEPS,
+            survival=SurvivalConfig(checkpoint_every=5, spare_ranks=1),
+            fault_plan=plan, timeout=120.0, comm_timeout=5.0,
+        )
+        assert_identical(ref, eta)
+        assert report.respawns == 1 and report.spares_used == 1
+        assert report.shrinks == 0
+        assert report.incarnations[-1].n_ranks == 2  # width preserved
+
+    def test_message_drop_retries_same_width(self):
+        grid, bathy, cfg, src, ref = self.setup_run()
+        plan = FaultPlan(
+            [FaultSpec(kind="msg_drop", rank=0, op=7)], seed=3
+        )
+        eta, report = survivable_run_distributed(
+            grid, bathy, cfg, whole_block_decomp(grid, 2), src,
+            self.N_STEPS, survival=SurvivalConfig(checkpoint_every=5),
+            fault_plan=plan, timeout=120.0, comm_timeout=2.0,
+        )
+        assert_identical(ref, eta)
+        assert report.epoch_retries == 1
+        assert report.rank_failures == 0
+        assert report.incarnations[-1].n_ranks == 2
+
+    def test_breaker_falls_back_single_process_from_checkpoint(self):
+        grid, bathy, cfg, src, ref = self.setup_run()
+        plan = FaultPlan(
+            [FaultSpec(kind="rank_crash", rank=1, step=24)], seed=4
+        )
+        eta, report = survivable_run_distributed(
+            grid, bathy, cfg, whole_block_decomp(grid, 2), src,
+            self.N_STEPS,
+            survival=SurvivalConfig(checkpoint_every=5,
+                                    max_rank_failures=0),
+            fault_plan=plan, timeout=120.0, comm_timeout=5.0,
+        )
+        assert_identical(ref, eta)
+        assert report.breaker_tripped
+        assert report.completed_via == "single_process"
+
+    def test_hedging_migrates_straggler_blocks(self):
+        grid, bathy, cfg, src, ref = self.setup_run(n_blocks=3)
+        # Rank 2 stalls 30 ms on every send: an unambiguous straggler.
+        plan = FaultPlan(
+            [
+                FaultSpec(kind="straggler", rank=2, op=0, step=0,
+                          span=100, factor=4.0, delay_s=0.03)
+            ],
+            seed=5,
+        )
+        eta, report = survivable_run_distributed(
+            grid, bathy, cfg, whole_block_decomp(grid, 3), src,
+            self.N_STEPS,
+            survival=SurvivalConfig(
+                checkpoint_every=10, hedge_stragglers=True,
+                hedge_window=5, hedge_budget=2,
+            ),
+            fault_plan=plan, timeout=200.0, comm_timeout=20.0,
+        )
+        assert_identical(ref, eta)
+        assert report.hedge_attempts >= 1
+        kinds = {ev.kind for ev in report.events}
+        assert "hedge_migrate" in kinds
+
+
+class TestMiniKochiAcceptance:
+    """The issue's acceptance scenario: 5-rank mini-Kochi, crash at 80%."""
+
+    N_STEPS = 120
+    CRASH_STEP = 96  # 80% of 120
+
+    @pytest.fixture(scope="class")
+    def kochi(self):
+        mk = build_mini_kochi()
+        cfg = SimulationConfig(dt=mk.dt)
+        src = GaussianSource(
+            x0=4_000.0, y0=16_000.0, amplitude=2.0, sigma=2_500.0
+        )
+        ref = reference_run(
+            mk.grid, mk.bathymetry, cfg, src, self.N_STEPS
+        )
+        return mk, cfg, src, ref
+
+    def _run(self, kochi, survival, plan):
+        mk, cfg, src, ref = kochi
+        decomp = equal_cell_assignment(mk.grid, 5, split_blocks=False)
+        eta, report = survivable_run_distributed(
+            mk.grid, mk.bathymetry, cfg, decomp, src, self.N_STEPS,
+            survival=survival, fault_plan=plan,
+            timeout=400.0, comm_timeout=10.0,
+        )
+        assert_identical(ref, eta)
+        return report
+
+    def test_shrink_at_80_percent_bitwise_with_metrics(self, kochi):
+        import repro.obs as obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            plan = FaultPlan(
+                [
+                    FaultSpec(kind="rank_crash", rank=2,
+                              step=self.CRASH_STEP)
+                ],
+                seed=11,
+            )
+            report = self._run(
+                kochi, SurvivalConfig(checkpoint_every=10), plan
+            )
+            assert report.shrinks == 1
+            assert report.rank_failures == 1
+            last = report.incarnations[-1]
+            assert last.n_ranks == 4
+            # Resumed from the epoch-9 buddy checkpoint, not from t=0.
+            assert last.start_step == 90
+            assert last.epoch == 9
+            sample = obs.get_registry().sample("repro_recovery_")
+            assert sample["repro_recovery_rank_failures_total"] == 1
+            assert sample["repro_recovery_shrinks_total"] == 1
+            assert sample["repro_recovery_epoch"] == 9
+        finally:
+            obs.reset()
+
+    def test_respawn_at_80_percent_bitwise(self, kochi):
+        plan = FaultPlan(
+            [FaultSpec(kind="rank_crash", rank=2, step=self.CRASH_STEP)],
+            seed=12,
+        )
+        report = self._run(
+            kochi,
+            SurvivalConfig(checkpoint_every=10, spare_ranks=1),
+            plan,
+        )
+        assert report.respawns == 1 and report.spares_used == 1
+        last = report.incarnations[-1]
+        assert last.n_ranks == 5  # full width restored from the spare
+        assert last.start_step == 90
