@@ -41,6 +41,16 @@ Commands
     run's per-block kernel spans, report drift against the platform's
     stored reference model, and re-run the Algorithm-1 separator
     optimization under the recalibrated model.
+``serve``
+    Run the overload-safe forecast service (``repro.service``): either
+    the deterministic 3x-capacity soak harness (``--soak``) or a spool
+    of submitted requests (``--requests FILE``), reporting every
+    admission, shed, and completion decision.  Exits non-zero when an
+    overload invariant is violated (a silent deadline miss).
+``submit``
+    Build one forecast request (scenario + deadline + tenant + class)
+    and append it to a spool file for ``serve --requests``, print it,
+    or run it immediately (``--run``).
 
 Global flags: ``--log-level`` / ``--log-json`` configure the structured
 logger; ``forecast --export-trace`` / ``--export-metrics`` arm the
@@ -51,6 +61,30 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float, rejected at parse time."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, rejected at parse time."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not an integer"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
 
 
 def _cmd_grid(_args) -> int:
@@ -545,6 +579,159 @@ def _cmd_retune(args) -> int:
     return 0
 
 
+def _serve_outcome_line(ticket) -> str:
+    req = ticket.request
+    base = f"{req.request_id:<12} {req.klass:<8} {ticket.status:<8}"
+    if ticket.status in ("done", "cached"):
+        fidelity = ticket.result.fidelity.tag if ticket.result else "?"
+        met = "met" if ticket.deadline_met else "MISSED"
+        return (f"{base} fidelity={fidelity} "
+                f"latency={ticket.latency_s:.1f}s deadline {met}")
+    return f"{base} {ticket.outcome_detail or ticket.error or ''}"
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.obs import get_registry
+
+    if args.soak:
+        from repro.service import SoakConfig, run_soak
+
+        report = run_soak(SoakConfig(
+            duration_s=args.duration,
+            rate_multiplier=args.rate,
+            seed=args.seed,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+        ))
+        print(report.summary())
+        if args.export_metrics:
+            get_registry().write_json(args.export_metrics)
+            print(f"wrote metrics snapshot: {args.export_metrics}")
+        return 0 if report.ok else 1
+
+    if args.requests is None:
+        print("error: serve needs --soak or --requests FILE")
+        return 2
+
+    from repro.errors import ServiceOverloadError
+    from repro.service import (
+        ForecastRequest,
+        ForecastService,
+        LocalBackend,
+        ServiceConfig,
+        SimulatedBackend,
+    )
+
+    backend = (
+        LocalBackend() if args.backend == "local" else SimulatedBackend()
+    )
+    service = ForecastService(
+        backend,
+        ServiceConfig(
+            workers=args.workers, queue_capacity=args.queue_capacity
+        ),
+        estimator=getattr(backend, "estimator", None),
+    )
+    try:
+        with open(args.requests, encoding="utf-8") as fh:
+            specs = [json.loads(line) for line in fh if line.strip()]
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.requests}: {exc}")
+        return 2
+    specs.sort(key=lambda d: float(d.get("at", 0.0)))
+    for spec in specs:
+        at = float(spec.pop("at", 0.0))
+        service.advance_to(max(at, service.clock.now()))
+        request = ForecastRequest.from_dict(spec)
+        try:
+            service.submit(request)
+        except ServiceOverloadError as exc:
+            print(f"{request.request_id:<12} {request.klass:<8} rejected "
+                  f"{type(exc).__name__}: {exc}")
+    service.run_until_idle()
+    bad = 0
+    for ticket in service.tickets:
+        print(_serve_outcome_line(ticket))
+        if ticket.status == "failed" or ticket.deadline_met is False:
+            bad += 1
+    stats = service.stats()
+    print(f"served {stats['tickets']} requests; by status: "
+          + ", ".join(f"{k}={v}"
+                      for k, v in sorted(stats["by_status"].items())))
+    if args.export_metrics:
+        get_registry().write_json(args.export_metrics)
+        print(f"wrote metrics snapshot: {args.export_metrics}")
+    return 0 if bad == 0 else 1
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service import ForecastRequest
+
+    if args.scenario is not None:
+        try:
+            with open(args.scenario, encoding="utf-8") as fh:
+                spec = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.scenario}: {exc}")
+            return 2
+    else:
+        from repro.topo import build_mini_kochi
+
+        mk = build_mini_kochi()
+        spec = {
+            "grid": "mini-kochi",
+            "dt": mk.dt,
+            "n_steps": int(args.minutes * 60 / mk.dt),
+            "source": {
+                "type": "gaussian",
+                "x0": 4_000.0,
+                "y0": 16_000.0,
+                "amplitude": args.amplitude,
+                "sigma": 2_500.0,
+            },
+        }
+    request = ForecastRequest(
+        scenario=spec,
+        deadline_s=args.deadline,
+        tenant=args.tenant,
+        klass=args.klass,
+    )
+    doc = request.to_dict()
+    if args.at is not None:
+        doc["at"] = args.at
+
+    if args.run:
+        from repro.errors import ServiceOverloadError
+        from repro.service import ForecastService, LocalBackend
+
+        service = ForecastService(LocalBackend())
+        try:
+            ticket = service.submit(request)
+        except ServiceOverloadError as exc:
+            print(f"rejected: {type(exc).__name__}: {exc}")
+            return 1
+        service.run_until_idle()
+        print(_serve_outcome_line(ticket))
+        if ticket.result is not None:
+            payload = ticket.result.payload
+            if "max_eta" in payload:
+                print(f"max water level : {payload['max_eta']:.2f} m")
+        return 0 if ticket.status in ("done", "cached") else 1
+
+    if args.spool is not None:
+        with open(args.spool, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        print(f"spooled {request.request_id} ({request.klass}, "
+              f"deadline {request.deadline_s:g}s) -> {args.spool}")
+    else:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -564,9 +751,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default="gaussian")
     p_fc.add_argument("--amplitude", type=float, default=2.0,
                       help="source amplitude [m] / slip scale")
-    p_fc.add_argument("--minutes", type=float, default=2.0,
+    p_fc.add_argument("--minutes", type=_positive_float, default=2.0,
                       help="simulated minutes to integrate")
-    p_fc.add_argument("--deadline", type=float, default=None,
+    p_fc.add_argument("--deadline", type=_positive_float, default=None,
                       help="wall-clock budget [s] (simulated on the hw "
                            "model); enables graceful degradation")
     p_fc.add_argument("--faults", default=None, metavar="PLAN.json",
@@ -581,7 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist the run (journal, checkpoints, "
                            "streamed products) into DIR; enables "
                            "crash-safe restart via 'repro resume'")
-    p_fc.add_argument("--checkpoint-every", type=int, default=25,
+    p_fc.add_argument("--checkpoint-every", type=_positive_int, default=25,
                       metavar="STEPS",
                       help="on-disk checkpoint cadence for --rundir "
                            "(default: 25 steps)")
@@ -598,7 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="collect metrics and write a metrics.json "
                            "snapshot (default PATH: <rundir>/metrics.json, "
                            "else ./metrics.json)")
-    p_fc.add_argument("--ranks", type=int, default=1, metavar="N",
+    p_fc.add_argument("--ranks", type=_positive_int, default=1, metavar="N",
                       help="run distributed on N simulated MPI ranks with "
                            "in-flight failure survival (default: 1 = "
                            "single process)")
@@ -628,7 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bl = sub.add_parser("balance", help="run the load-balance optimizer")
     p_bl.add_argument("--system", default="squid-gpu")
-    p_bl.add_argument("--ranks", type=int, default=16)
+    p_bl.add_argument("--ranks", type=_positive_int, default=16)
 
     p_va = sub.add_parser(
         "validate",
@@ -740,7 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rt.add_argument("--system", default="squid-gpu",
                       help="Table-II system whose platform anchors the "
                            "drift report (default: squid-gpu)")
-    p_rt.add_argument("--ranks", type=int, default=16,
+    p_rt.add_argument("--ranks", type=_positive_int, default=16,
                       help="ranks for the re-tuned decomposition "
                            "(default: 16)")
     p_rt.add_argument("--grid", default="kochi",
@@ -750,6 +937,70 @@ def build_parser() -> argparse.ArgumentParser:
                       help="hill-climb iterations (default: 2000)")
     p_rt.add_argument("--seed", type=int, default=0,
                       help="hill-climb RNG seed (default: 0)")
+
+    p_se = sub.add_parser(
+        "serve",
+        help="run the overload-safe forecast service (soak or spool)",
+    )
+    p_se.add_argument("--soak", action="store_true",
+                      help="run the deterministic overload soak harness "
+                           "instead of a request spool")
+    p_se.add_argument("--requests", default=None, metavar="FILE",
+                      help="JSONL spool of requests (see `repro submit "
+                           "--spool`); optional per-line 'at' field gives "
+                           "the arrival time [s]")
+    p_se.add_argument("--backend", default="local",
+                      choices=["local", "sim"],
+                      help="spool execution backend: real mini-Kochi "
+                           "numerics or the cost-model simulator "
+                           "(default: local)")
+    p_se.add_argument("--duration", type=_positive_float, default=3600.0,
+                      metavar="S",
+                      help="soak duration in simulated seconds "
+                           "(default: 3600)")
+    p_se.add_argument("--rate", type=_positive_float, default=3.0,
+                      metavar="X",
+                      help="soak arrival rate as a multiple of service "
+                           "capacity (default: 3.0)")
+    p_se.add_argument("--seed", type=int, default=0,
+                      help="soak arrival-process seed (default: 0)")
+    p_se.add_argument("--workers", type=_positive_int, default=2,
+                      metavar="N",
+                      help="concurrent execution slots (default: 2)")
+    p_se.add_argument("--queue-capacity", type=_positive_int, default=24,
+                      metavar="N",
+                      help="admission queue bound (default: 24)")
+    p_se.add_argument("--export-metrics", default=None, metavar="PATH",
+                      help="write a metrics.json snapshot (shed/latency/"
+                           "queue-depth series) after serving")
+
+    p_su = sub.add_parser(
+        "submit",
+        help="build one forecast request for the service",
+    )
+    p_su.add_argument("--deadline", type=_positive_float, required=True,
+                      metavar="S",
+                      help="deadline budget from submission [s]")
+    p_su.add_argument("--class", dest="klass", default="normal",
+                      choices=["critical", "high", "normal", "low"],
+                      help="request class (default: normal)")
+    p_su.add_argument("--tenant", default="default",
+                      help="tenant name for the bulkhead quota")
+    p_su.add_argument("--scenario", default=None, metavar="FILE",
+                      help="scenario spec JSON; default builds a "
+                           "mini-Kochi gaussian scenario")
+    p_su.add_argument("--minutes", type=_positive_float, default=2.0,
+                      help="simulated minutes for the default scenario")
+    p_su.add_argument("--amplitude", type=float, default=2.0,
+                      help="source amplitude for the default scenario")
+    p_su.add_argument("--at", type=_positive_float, default=None,
+                      metavar="S",
+                      help="arrival time recorded in the spool entry")
+    p_su.add_argument("--spool", default=None, metavar="FILE",
+                      help="append the request to this JSONL spool")
+    p_su.add_argument("--run", action="store_true",
+                      help="run the request immediately on a one-shot "
+                           "local service")
 
     return parser
 
@@ -770,6 +1021,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "compare": _cmd_compare,
         "retune": _cmd_retune,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }[args.command](args)
 
 

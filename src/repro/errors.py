@@ -137,6 +137,80 @@ class DeadlineError(ReproError):
     """
 
 
+class RetryExhaustedError(ReproError):
+    """A retry loop gave up.
+
+    Raised by :func:`repro.resilience.recovery.retry_with_backoff` once
+    every attempt has failed (or the elapsed-time budget is spent), so
+    callers see *how much* was tried instead of just the final
+    exception.  The last underlying exception is chained as
+    ``__cause__``.
+
+    Attributes
+    ----------
+    attempts:
+        Number of calls actually made before giving up.
+    elapsed_s:
+        Total wall-clock spent in the retry loop (calls plus sleeps).
+    """
+
+    def __init__(
+        self, message: str, attempts: int, elapsed_s: float
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+
+
+class ServiceError(ReproError):
+    """Forecast-service failure (:mod:`repro.service`)."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service refused a request to protect the work it already holds.
+
+    The HTTP-429 equivalent: raised at submission time by the admission
+    controller when accepting the request would overload the service —
+    the queue is full of equal-or-higher-priority work, the tenant's
+    bulkhead is exhausted, every backend's circuit breaker is open, or
+    the projected completion (cost model + queue ahead) misses the
+    request's deadline even after the request class's whole degradation
+    ladder.  ``retry_after_s`` is the service's estimate of when capacity
+    frees up, when it can compute one.
+    """
+
+    def __init__(
+        self, message: str, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFullError(ServiceOverloadError):
+    """The bounded admission queue is full and nothing lower-priority
+    than the incoming request could be shed to make room."""
+
+
+class DeadlineUnmeetableError(ServiceOverloadError):
+    """Projected completion misses the request deadline even at the most
+    degraded fidelity the request's class allows — running it would only
+    burn capacity on a forecast that arrives too late to matter."""
+
+
+class TenantQuotaError(ServiceOverloadError):
+    """The tenant's bulkhead (max queued + running requests) is full.
+
+    Per-tenant quotas keep one noisy tenant from starving the rest; the
+    rejection is per-tenant, so other tenants keep being admitted.
+    """
+
+
+class BackendUnavailableError(ServiceOverloadError):
+    """Every execution backend's circuit breaker is open — recent runs
+    kept failing, so the service fails fast instead of queueing work it
+    cannot currently execute."""
+
+
 class ObservatoryError(ReproError):
     """Performance-observatory failure.
 

@@ -131,11 +131,18 @@ class Histogram:
         return out
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper bound of the bucket)."""
+        """Bucket-resolution quantile estimate (upper bound of the bucket).
+
+        An empty histogram has no observations to rank, so every
+        quantile is 0.0 — never NaN, which would poison downstream
+        arithmetic and serialize as the non-standard token ``nan`` in
+        JSON (the Prometheus export additionally omits the derived
+        quantile gauges entirely until the first observation).
+        """
         if not 0 <= q <= 1:
             raise ValueError("quantile must be in [0, 1]")
         if self.count == 0:
-            return math.nan
+            return 0.0
         target = q * self.count
         acc = 0
         for i, c in enumerate(self.counts[:-1]):

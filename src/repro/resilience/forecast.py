@@ -42,6 +42,7 @@ def run_resilient_forecast(
     eta_limit: float = 100.0,
     mass_tol: float | None = None,
     min_levels: int = 1,
+    max_output_every: int = 8,
     max_rollbacks: int = 6,
     store=None,
     spill_every: int = 1,
@@ -91,6 +92,7 @@ def run_resilient_forecast(
         checkpoint_every=checkpoint_every,
         max_rollbacks=max_rollbacks,
         min_levels=min_levels,
+        max_output_every=max_output_every,
         journal=store.record_event if store is not None else None,
     )
     final = engine.run()

@@ -28,7 +28,11 @@ import time
 from dataclasses import dataclass, replace
 
 from repro.core.model import RTiModel
-from repro.errors import CommunicationError, NumericalError
+from repro.errors import (
+    CommunicationError,
+    NumericalError,
+    RetryExhaustedError,
+)
 from repro.grid.hierarchy import NestedGrid
 from repro.obs.log import get_logger
 from repro.obs.trace import get_tracer, instant
@@ -316,13 +320,15 @@ class RecoveryEngine:
                 step=self.model.step_count,
                 detail=detail,
             )
-            from repro.obs.metrics import get_registry
+        # Meter unconditionally: overload dashboards must see every
+        # degradation whether or not the run was traced.
+        from repro.obs.metrics import get_registry
 
-            get_registry().counter(
-                "repro_degradations_total",
-                "graceful-degradation actions by kind",
-                labels={"action": action},
-            ).inc()
+        get_registry().counter(
+            "repro_degradations_total",
+            "graceful-degradation actions by kind",
+            labels={"action": action},
+        ).inc()
         if self.journal is not None:
             self.journal(
                 "degradation",
@@ -442,9 +448,12 @@ def retry_with_backoff(
     deadline.  Sleeps are truncated to the remaining budget and no new
     attempt starts once the budget is spent.
     """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
     draw = rng.uniform if rng is not None else random.uniform
     start = time.monotonic()
     last: BaseException | None = None
+    calls = 0
     for attempt in range(attempts):
         if (
             attempt > 0
@@ -453,6 +462,7 @@ def retry_with_backoff(
         ):
             break
         try:
+            calls += 1
             return fn()
         except retry_on as exc:  # noqa: PERF203 - retry loop
             last = exc
@@ -468,7 +478,12 @@ def retry_with_backoff(
                     )
                     delay = min(delay, max(0.0, budget_left))
                 time.sleep(delay)
-    raise last
+    elapsed = time.monotonic() - start
+    raise RetryExhaustedError(
+        f"gave up after {calls} attempt(s) in {elapsed:.3f}s: {last}",
+        attempts=calls,
+        elapsed_s=elapsed,
+    ) from last
 
 
 def resilient_run_distributed(
@@ -529,14 +544,15 @@ def resilient_run_distributed(
             on_retry=_note,
         )
         return out, events
-    except CommunicationError as exc:
+    except RetryExhaustedError as exc:
         events.append(
             RecoveryEvent(
                 step=-1,
                 kind="fallback_single_process",
-                detail=f"all {attempts} distributed attempts failed "
-                f"({exc}); re-running single-process",
-                rank=getattr(exc, "failed_rank", None),
+                detail=f"all {exc.attempts} distributed attempts failed "
+                f"in {exc.elapsed_s:.3f}s ({exc.__cause__}); "
+                "re-running single-process",
+                rank=getattr(exc.__cause__, "failed_rank", None),
             )
         )
     model = RTiModel(grid, bathymetry, config)

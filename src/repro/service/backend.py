@@ -1,0 +1,251 @@
+"""Execution backends: where an admitted forecast actually runs.
+
+A backend takes one admitted request plus its remaining compute budget
+and returns a :class:`BackendResult` — the products, the fidelity they
+were produced at, and the compute cost actually spent (in the same
+simulated-seconds currency the service clock runs on, priced through
+:class:`repro.resilience.clock.SimulatedClock`).
+
+* :class:`LocalBackend` runs the real numerics via
+  :func:`repro.resilience.forecast.run_resilient_forecast`, so the whole
+  resilience stack (health monitor, checkpoint ring, deadline supervisor
+  and its degradation ladder) sits under the service.  The request
+  class's allowed ladder maps onto the engine's ``min_levels`` /
+  ``max_output_every`` floors.
+* :class:`SimulatedBackend` prices the run on the admission cost model
+  (with deterministic per-scenario noise, so live calibration has
+  something to learn) and returns a content digest as the product —
+  fast enough for thousand-request soak runs, deterministic enough that
+  "bitwise identical to an unloaded run" is still a checkable property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import NumericalError, ServiceError
+from repro.service.admission import CostEstimator
+from repro.service.request import (
+    FULL_FIDELITY,
+    Fidelity,
+    ForecastRequest,
+    canonical_scenario,
+    ladder_fidelities,
+)
+
+
+@dataclass
+class BackendResult:
+    """What one execution produced."""
+
+    payload: dict
+    fidelity: Fidelity
+    cost_s: float
+    backend: str
+    degradations: list = field(default_factory=list)
+    report: object = None
+
+    @property
+    def degraded(self) -> bool:
+        return not self.fidelity.is_full
+
+
+def _source_from_spec(spec: dict):
+    from repro.fault import GaussianSource, nankai_like_scenario
+
+    kind = spec.get("type", "gaussian")
+    if kind == "gaussian":
+        return GaussianSource(
+            x0=spec.get("x0", 4_000.0),
+            y0=spec.get("y0", 16_000.0),
+            amplitude=spec.get("amplitude", 2.0),
+            sigma=spec.get("sigma", 2_500.0),
+        )
+    if kind == "nankai":
+        return nankai_like_scenario(
+            29_160.0, 36_450.0,
+            magnitude_scale=spec.get("magnitude_scale", 1.0),
+        )
+    raise ServiceError(f"unknown source type {kind!r}")
+
+
+class LocalBackend:
+    """Runs the real mini-Kochi numerics under the resilience stack."""
+
+    def __init__(self, name: str = "local", platform: str = "squid-gpu"):
+        self.name = name
+        self.platform = platform
+        self.runs = 0
+        self._mk = None
+
+    def _grid(self, scenario: dict):
+        if scenario.get("grid", "mini-kochi") != "mini-kochi":
+            raise ServiceError(
+                "LocalBackend only runs mini-kochi scenarios"
+            )
+        if self._mk is None:
+            from repro.topo import build_mini_kochi
+
+            self._mk = build_mini_kochi()
+        return self._mk
+
+    def run(
+        self,
+        request: ForecastRequest,
+        budget_s: float | None,
+    ) -> BackendResult:
+        from repro.core import SimulationConfig
+        from repro.resilience.forecast import run_resilient_forecast
+
+        mk = self._grid(request.scenario)
+        scenario = request.scenario
+        dt = float(scenario.get("dt", mk.dt))
+        n_steps = int(scenario["n_steps"])
+        allowed = request.allowed_actions
+        n_levels = mk.grid.n_levels
+        # Class ladder -> engine degradation floors.  finish_early stays
+        # available as the engine's last resort regardless of class: an
+        # explicitly shortened forecast beats a silent deadline miss.
+        min_levels = n_levels if "drop_level" not in allowed else 1
+        max_output_every = 1 if "coarsen_output" not in allowed else 8
+        self.runs += 1
+        report = run_resilient_forecast(
+            mk.grid,
+            mk.bathymetry,
+            config=SimulationConfig(dt=dt),
+            source=_source_from_spec(scenario.get("source", {})),
+            horizon_s=n_steps * dt,
+            deadline_s=budget_s,
+            platform=self.platform,
+            min_levels=min_levels,
+            max_output_every=max_output_every,
+        )
+        model = report.model
+        fidelity = Fidelity(
+            levels_dropped=report.n_levels_initial - report.n_levels_final,
+            output_every=report.output_every_final,
+            horizon_frac=(
+                report.achieved_s / report.horizon_s
+                if report.horizon_s > 0 else 1.0
+            ),
+        )
+        payload = {
+            "eta": {
+                bid: st.eta_interior().copy()
+                for bid, st in model.states.items()
+            },
+            "zmax": {
+                bid: acc.zmax.copy() for bid, acc in model.outputs.items()
+            },
+            "max_eta": model.max_eta(),
+        }
+        return BackendResult(
+            payload=payload,
+            fidelity=fidelity,
+            cost_s=report.elapsed_s,
+            backend=self.name,
+            degradations=list(report.degradations),
+            report=report,
+        )
+
+
+class SimulatedBackend:
+    """Cost-model-priced backend for deterministic overload soak runs.
+
+    The cost of a run is the admission model's raw estimate scaled by a
+    deterministic per-scenario noise factor in ``[1 - noise, 1 + noise]``
+    (derived from the scenario hash, not Python's salted ``hash``), so
+    the estimator's live calibration loop has real error to absorb.  The
+    product is a content digest of ``(scenario, fidelity)`` — two runs
+    of the same scenario at the same fidelity are bitwise identical by
+    construction, and any cross-fidelity cache pollution shows up as a
+    digest mismatch in the acceptance tests.
+    """
+
+    def __init__(
+        self,
+        name: str = "sim",
+        estimator: CostEstimator | None = None,
+        noise: float = 0.1,
+        fail_when=None,
+    ) -> None:
+        if not 0 <= noise < 1:
+            raise ServiceError(f"noise must be in [0, 1), got {noise}")
+        self.name = name
+        self.estimator = estimator or CostEstimator()
+        self.noise = noise
+        #: Optional ``callable(request) -> bool`` injecting failures.
+        self.fail_when = fail_when
+        self.runs = 0
+        self.runs_by_key: dict[str, int] = {}
+
+    def _noise_factor(self, scenario: dict) -> float:
+        digest = hashlib.sha256(
+            canonical_scenario(scenario).encode("utf-8")
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return 1.0 - self.noise + 2.0 * self.noise * u
+
+    def unloaded_payload(
+        self, scenario: dict, fidelity: Fidelity = FULL_FIDELITY
+    ) -> dict:
+        """The exact payload an unloaded run of *scenario* produces."""
+        digest = hashlib.sha256(
+            (canonical_scenario(scenario) + "|" + fidelity.tag
+             + "|" + self.name).encode("utf-8")
+        ).hexdigest()
+        return {"digest": digest, "fidelity": fidelity.tag}
+
+    def run(
+        self,
+        request: ForecastRequest,
+        budget_s: float | None,
+    ) -> BackendResult:
+        self.runs += 1
+        key = request.cache_key(self.name)
+        self.runs_by_key[key] = self.runs_by_key.get(key, 0) + 1
+        if self.fail_when is not None and self.fail_when(request):
+            raise NumericalError(
+                f"injected backend failure for {request.request_id}"
+            )
+        scenario = request.scenario
+        factor = self._noise_factor(scenario)
+        # Walk the class's degradation ladder exactly as the in-run
+        # supervisor would: mildest fidelity whose priced cost fits the
+        # remaining budget wins.
+        fidelity = FULL_FIDELITY
+        cost = self.estimator.estimate_raw_s(scenario, fidelity) * factor
+        degradations: list[str] = []
+        if budget_s is not None and cost > budget_s:
+            for fid in ladder_fidelities(
+                request.allowed_actions,
+                self.estimator.max_levels_droppable(scenario),
+            ):
+                c = self.estimator.estimate_raw_s(scenario, fid) * factor
+                if c <= budget_s:
+                    fidelity, cost = fid, c
+                    degradations = fid.actions()
+                    break
+            else:
+                # Ladder exhausted (or class forbids it): run at the most
+                # degraded permitted fidelity and overrun — the service
+                # meters the miss loudly instead of hiding it.
+                fids = ladder_fidelities(
+                    request.allowed_actions,
+                    self.estimator.max_levels_droppable(scenario),
+                )
+                if fids:
+                    fidelity = fids[-1]
+                    cost = (
+                        self.estimator.estimate_raw_s(scenario, fidelity)
+                        * factor
+                    )
+                    degradations = fidelity.actions()
+        return BackendResult(
+            payload=self.unloaded_payload(scenario, fidelity),
+            fidelity=fidelity,
+            cost_s=cost,
+            backend=self.name,
+            degradations=degradations,
+        )

@@ -1,0 +1,110 @@
+"""Bounded earliest-deadline-first admission queue.
+
+The pending-work queue of the forecast service: a binary heap ordered by
+``(absolute deadline, class rank, arrival sequence)`` — earliest
+deadline first, ties broken toward the more important class, then FIFO.
+EDF is the right discipline for a deadline service (it is optimal for
+meeting deadlines on a single worker and a strong heuristic on several),
+and the explicit bound is the backpressure: the queue *refuses* to grow
+past ``capacity``, forcing the admission controller to shed or reject
+instead of letting latency grow without bound for everyone.
+
+Eviction ("shedding") picks the entry that hurts least to drop: the
+worst class rank first, and among those the latest deadline — the
+request that was most likely to be degraded or late anyway.
+
+Entries are duck-typed: anything with ``deadline_abs`` and
+``class_rank`` attributes queues; shed entries are removed lazily from
+the heap (standard tombstone technique), so eviction is O(1) plus an
+amortized pop-time cleanup.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import ServiceError
+
+
+class BoundedDeadlineQueue:
+    """EDF priority queue with a hard capacity and priority-aware shed."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServiceError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: list[list] = []  # [deadline, rank, seq, entry, live?]
+        self._live: dict[int, list] = {}  # seq -> heap node
+        self._seq = itertools.count()
+        #: High-water mark, for the boundedness guarantee in reports.
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    @property
+    def full(self) -> bool:
+        return len(self._live) >= self.capacity
+
+    def push(self, entry) -> None:
+        if self.full:
+            raise ServiceError(
+                f"queue over capacity ({self.capacity}); the admission "
+                "controller must shed or reject first"
+            )
+        node = [
+            float(entry.deadline_abs),
+            int(entry.class_rank),
+            next(self._seq),
+            entry,
+            True,
+        ]
+        heapq.heappush(self._heap, node)
+        self._live[node[2]] = node
+        self.peak_depth = max(self.peak_depth, len(self._live))
+
+    def pop(self):
+        """Remove and return the earliest-deadline live entry."""
+        while self._heap:
+            node = heapq.heappop(self._heap)
+            if node[4]:
+                del self._live[node[2]]
+                return node[3]
+        raise ServiceError("pop from an empty queue")
+
+    def peek(self):
+        while self._heap and not self._heap[0][4]:
+            heapq.heappop(self._heap)
+        return self._heap[0][3] if self._heap else None
+
+    def entries(self) -> list:
+        """Live entries in EDF order (for schedule projection)."""
+        return [
+            node[3]
+            for node in sorted(self._live.values(), key=lambda n: n[:3])
+        ]
+
+    def remove(self, entry) -> bool:
+        """Tombstone a specific entry; True if it was queued."""
+        for seq, node in self._live.items():
+            if node[3] is entry:
+                node[4] = False
+                del self._live[seq]
+                return True
+        return False
+
+    def shed_candidate(self, below_rank: int | None = None):
+        """The entry to evict first, or ``None``.
+
+        Worst class rank, then latest deadline.  With *below_rank*, only
+        entries strictly less important than that rank qualify — an
+        incoming request may only displace lower-priority work.
+        """
+        best = None
+        for node in self._live.values():
+            if below_rank is not None and node[1] <= below_rank:
+                continue
+            if best is None or (node[1], node[0]) > (best[1], best[0]):
+                best = node
+        return best[3] if best is not None else None

@@ -1,0 +1,950 @@
+"""The overload-safe multi-tenant forecast service.
+
+:class:`ForecastService` sits above the single-run stack
+(``RTiModel`` + resilience) and stays correct and predictable when more
+forecasts are demanded than the hardware can deliver.  Its contract:
+
+* **No silent deadline misses.**  A request is either rejected at
+  submission with an explicit :class:`~repro.errors.ServiceOverloadError`
+  (the 429 equivalent), shed later with an explicit outcome, or it
+  completes by its deadline — possibly degraded through the resilience
+  layer's ladder, and always *labelled* as degraded.
+* **Overload degrades the least important work first.**  Admission
+  projects completion via the cost model + live calibration
+  (:mod:`repro.service.admission`); when the projection overruns, the
+  request class's degradation ladder is walked before rejecting, and
+  queued lower-priority work is degraded/shed before higher-priority
+  work is ever refused.
+* **Bounded everything.**  The EDF queue has a hard capacity, tenants
+  have bulkhead quotas, failing backends trip circuit breakers, and
+  identical concurrent requests collapse into one run (single-flight)
+  with completed full-fidelity results served from a bounded LRU cache.
+
+The service is a deterministic discrete-event system on a pluggable
+clock: ``submit()`` at arrival instants, ``advance_to()`` /
+``run_until_idle()`` to move time.  Execution cost is priced in the
+same simulated-seconds currency as
+:class:`repro.resilience.clock.SimulatedClock`, so one soak run is
+reproducible bit-for-bit from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    BackendUnavailableError,
+    DeadlineUnmeetableError,
+    QueueFullError,
+    ServiceError,
+    ServiceOverloadError,
+    TenantQuotaError,
+)
+from repro.obs.log import get_logger
+from repro.obs.metrics import get_registry
+from repro.service.admission import CostEstimator, project_schedule
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import DONE, SingleFlightCache
+from repro.service.clock import VirtualClock
+from repro.service.queue import BoundedDeadlineQueue
+from repro.service.request import (
+    FULL_FIDELITY,
+    Fidelity,
+    ForecastRequest,
+    ladder_fidelities,
+)
+
+_LOG = get_logger("service")
+
+#: Latency histogram buckets [simulated s] — forecast latencies run from
+#: seconds (cache hits, tiny scenarios) to many minutes under load.
+LATENCY_BUCKETS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+# Ticket lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE_OK = "done"
+CACHED = "cached"
+JOINED = "joined"
+SHED = "shed"
+FAILED = "failed"
+
+
+@dataclass
+class ServiceConfig:
+    """Operating envelope of one :class:`ForecastService`."""
+
+    workers: int = 2
+    queue_capacity: int = 32
+    #: Fraction of each deadline the projection must fit into — headroom
+    #: for estimation error (the un-modelled tail).
+    admission_margin: float = 0.8
+    #: Max queued + running primaries per tenant (the bulkhead).
+    tenant_quota: int = 8
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 300.0
+    cache_capacity: int = 256
+    platform: str = "squid-gpu"
+    #: One re-queue after a backend failure, deadline permitting.
+    retry_failures: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError("need at least one worker")
+        if not 0 < self.admission_margin <= 1:
+            raise ServiceError(
+                f"admission_margin must be in (0, 1], got "
+                f"{self.admission_margin}"
+            )
+        if self.tenant_quota < 1:
+            raise ServiceError("tenant_quota must be >= 1")
+
+
+@dataclass
+class Ticket:
+    """One admitted request's journey through the service."""
+
+    request: ForecastRequest
+    status: str = QUEUED
+    #: Planned execution fidelity (admission may pre-degrade it).
+    planned: Fidelity = FULL_FIDELITY
+    #: Remaining ladder below ``planned``, for later relief rounds.
+    ladder: list = field(default_factory=list)
+    est_s: float = 0.0
+    est_raw_s: float = 0.0
+    result: object = None
+    error: BaseException | None = None
+    enqueued_s: float | None = None
+    started_s: float | None = None
+    finished_s: float | None = None
+    backend: str | None = None
+    attempts: int = 0
+    outcome_detail: str = ""
+    #: For joined tickets: the primary whose run resolves us.
+    joined_to: "Ticket | None" = None
+
+    @property
+    def deadline_abs(self) -> float:
+        return self.request.deadline_abs
+
+    @property
+    def class_rank(self) -> int:
+        return self.request.class_rank
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.finished_s is None or self.request.submitted_s is None:
+            return None
+        return self.finished_s - self.request.submitted_s
+
+    @property
+    def deadline_met(self) -> bool | None:
+        if self.finished_s is None:
+            return None
+        return self.finished_s <= self.deadline_abs + 1e-9
+
+    @property
+    def settled(self) -> bool:
+        return self.status in (DONE_OK, CACHED, SHED, FAILED)
+
+
+@dataclass
+class _Worker:
+    wid: int
+    ticket: Ticket | None = None
+    result: object = None
+    finish_s: float = 0.0
+    backend: str | None = None
+
+    @property
+    def idle(self) -> bool:
+        return self.ticket is None
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One decision the service took, for journals and tests."""
+
+    t: float
+    kind: str
+    request_id: str
+    detail: str = ""
+
+
+class ForecastService:
+    """Admission control, EDF queueing, shedding, caching, breakers.
+
+    Parameters
+    ----------
+    backends:
+        Mapping ``name -> backend`` (anything with
+        ``run(request, budget_s) -> BackendResult``), or a single
+        backend.  Each backend gets its own circuit breaker.
+    estimator:
+        Shared :class:`~repro.service.admission.CostEstimator`; created
+        from ``config.platform`` when omitted.
+    clock:
+        Service time source; defaults to a fresh
+        :class:`~repro.service.clock.VirtualClock`.
+    journal:
+        Optional ``callable(event_name, **fields)`` (e.g.
+        ``RunStore.record_event``) receiving every admission, shed,
+        breaker, and completion decision.
+    """
+
+    def __init__(
+        self,
+        backends,
+        config: ServiceConfig | None = None,
+        estimator: CostEstimator | None = None,
+        clock=None,
+        journal=None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        if not isinstance(backends, dict):
+            backends = {getattr(backends, "name", "default"): backends}
+        if not backends:
+            raise ServiceError("need at least one backend")
+        self.backends = backends
+        self.estimator = estimator or CostEstimator(
+            platform=self.config.platform
+        )
+        self.clock = clock or VirtualClock()
+        self.journal = journal
+        self.queue = BoundedDeadlineQueue(self.config.queue_capacity)
+        self.cache = SingleFlightCache(self.config.cache_capacity)
+        self.breakers = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=self.config.breaker_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            )
+            for name in backends
+        }
+        self._workers = [_Worker(i) for i in range(self.config.workers)]
+        self._tenant_inflight: dict[str, int] = {}
+        self.tickets: list[Ticket] = []
+        self.events: list[ServiceEvent] = []
+        self._event_budget = 1_000_000
+
+    # -- small helpers ---------------------------------------------------
+
+    def _now(self) -> float:
+        return self.clock.now()
+
+    def _note(self, kind: str, request_id: str, detail: str = "") -> None:
+        self.events.append(
+            ServiceEvent(self._now(), kind, request_id, detail)
+        )
+        if self.journal is not None:
+            self.journal(
+                "service_" + kind,
+                t=round(self._now(), 6),
+                request_id=request_id,
+                detail=detail,
+            )
+
+    def _counter(self, name: str, help: str, labels: dict | None = None):
+        return get_registry().counter(name, help, labels=labels)
+
+    def _gauge(self, name: str, help: str, labels: dict | None = None):
+        return get_registry().gauge(name, help, labels=labels)
+
+    def _margin_deadline(self, ticket: Ticket) -> float:
+        req = ticket.request
+        return req.submitted_s + req.deadline_s * self.config.admission_margin
+
+    def _set_queue_gauges(self) -> None:
+        self._gauge(
+            "repro_service_queue_depth",
+            "admitted requests waiting for a worker",
+        ).set(len(self.queue))
+        self._gauge(
+            "repro_service_queue_depth_peak",
+            "high-water mark of the admission queue",
+        ).set(self.queue.peak_depth)
+
+    def _set_breaker_gauge(self, br: CircuitBreaker) -> None:
+        self._gauge(
+            "repro_service_breaker_state",
+            "circuit state per backend (0 closed, 1 half-open, 2 open)",
+            labels={"backend": br.name},
+        ).set(br.state_code)
+
+    def _reject(self, request: ForecastRequest, exc: ServiceOverloadError):
+        self._counter(
+            "repro_service_rejected_total",
+            "requests refused at admission, by reason",
+            labels={"reason": type(exc).__name__},
+        ).inc()
+        self._note("reject", request.request_id,
+                   f"{type(exc).__name__}: {exc}")
+        raise exc
+
+    # -- admission -------------------------------------------------------
+
+    def submit(self, request: ForecastRequest) -> Ticket:
+        """Admit, join, serve from cache, or explicitly refuse.
+
+        Returns a :class:`Ticket`; raises a
+        :class:`~repro.errors.ServiceOverloadError` subclass when the
+        request cannot be accepted without breaking promises already
+        made to admitted work.
+        """
+        now = self._now()
+        request.submitted_s = now
+        self._counter(
+            "repro_service_requests_total", "submissions by class",
+            labels={"class": request.klass},
+        ).inc()
+
+        key = request.cache_key(self.config.platform)
+        entry = self.cache.lookup(key)
+        if entry is not None and entry.state == DONE and entry.error is None:
+            ticket = Ticket(request, status=CACHED, result=entry.result)
+            ticket.finished_s = now
+            ticket.outcome_detail = "served from result cache"
+            self.cache.record_hit(entry)
+            self._counter(
+                "repro_service_cache_hits_total",
+                "requests served from the result cache",
+            ).inc()
+            self.tickets.append(ticket)
+            self._note("cache_hit", request.request_id, key[:12])
+            return ticket
+        if entry is not None and entry.state != DONE:
+            # Single-flight join: piggyback on the identical in-flight
+            # computation — but only if that flight lands inside this
+            # request's own deadline.  For a still-queued primary the
+            # schedule projection is optimistic (dispatch order is
+            # least-laxity, not the projection's EDF), so fall back on
+            # the one hard guarantee queued work has: it completes by
+            # its margin deadline or is shed.
+            projected = self._projected_finish(entry.primary)
+            if entry.primary.status == QUEUED:
+                projected = max(
+                    projected if projected is not None else 0.0,
+                    self._margin_deadline(entry.primary),
+                )
+            if (
+                projected is not None
+                and projected
+                > now + request.deadline_s * self.config.admission_margin
+            ):
+                self._reject(request, DeadlineUnmeetableError(
+                    f"identical computation in flight lands at "
+                    f"t={projected:.1f}s, after the request deadline",
+                    retry_after_s=max(0.0, projected - now),
+                ))
+            ticket = Ticket(request, status=JOINED, joined_to=entry.primary)
+            self.cache.join(entry, ticket)
+            self._counter(
+                "repro_service_singleflight_joins_total",
+                "requests deduplicated onto an in-flight identical run",
+            ).inc()
+            self.tickets.append(ticket)
+            self._note("singleflight_join", request.request_id, key[:12])
+            return ticket
+
+        # Bulkhead: one tenant cannot occupy the whole service.
+        inflight = self._tenant_inflight.get(request.tenant, 0)
+        if inflight >= self.config.tenant_quota:
+            self._reject(request, TenantQuotaError(
+                f"tenant {request.tenant!r} already has {inflight} "
+                f"requests in flight (quota {self.config.tenant_quota})"
+            ))
+
+        # Fail fast when no backend can currently execute anything.
+        if not any(
+            self._backend_available(br, now) for br in self.breakers.values()
+        ):
+            waits = [
+                br.retry_after_s(now) for br in self.breakers.values()
+            ]
+            waits = [w for w in waits if w is not None]
+            self._reject(request, BackendUnavailableError(
+                "every backend's circuit breaker is open",
+                retry_after_s=min(waits) if waits else None,
+            ))
+
+        fidelity, est_raw, est = self._plan_fidelity(request)
+        ticket = Ticket(
+            request,
+            planned=fidelity,
+            est_raw_s=est_raw,
+            est_s=est,
+        )
+        full_ladder = self._ladder_for(request)
+        ticket.ladder = self._ladder_after(full_ladder, fidelity)
+        if not fidelity.is_full:
+            for action in fidelity.actions():
+                self._counter(
+                    "repro_service_degraded_admits_total",
+                    "admissions planned below full fidelity, by action",
+                    labels={"action": action},
+                ).inc()
+
+        if self.queue.full:
+            self._shed_for_room(request)
+        ticket.enqueued_s = now
+        self.queue.push(ticket)
+        self.cache.begin(key, ticket)
+        self._tenant_inflight[request.tenant] = inflight + 1
+        self.tickets.append(ticket)
+        self._counter(
+            "repro_service_accepted_total", "admissions by class",
+            labels={"class": request.klass},
+        ).inc()
+        self._note(
+            "admit", request.request_id,
+            f"class={request.klass} fidelity={fidelity.tag} "
+            f"est={est:.1f}s deadline=+{request.deadline_s:g}s",
+        )
+        self._set_queue_gauges()
+        self._relieve_lower_priority(ticket)
+        self._dispatch()
+        return ticket
+
+    def _ladder_for(self, request: ForecastRequest) -> list[Fidelity]:
+        return ladder_fidelities(
+            request.allowed_actions,
+            self.estimator.max_levels_droppable(request.scenario),
+        )
+
+    @staticmethod
+    def _ladder_after(
+        ladder: list[Fidelity], chosen: Fidelity
+    ) -> list[Fidelity]:
+        if chosen.is_full:
+            return list(ladder)
+        try:
+            return ladder[ladder.index(chosen) + 1:]
+        except ValueError:
+            return []
+
+    def _plan_fidelity(
+        self, request: ForecastRequest
+    ) -> tuple[Fidelity, float, float]:
+        """Mildest fidelity whose projected completion meets the deadline.
+
+        Walks the class's ladder; at each rung the whole tentative EDF
+        schedule is projected, and the rung is accepted when the new
+        request fits without pushing any *equal-or-higher-priority*
+        admitted request past its margin deadline (lower-priority
+        victims are relieved after admission).  Exhausting the ladder
+        raises :class:`~repro.errors.DeadlineUnmeetableError`.
+        """
+        now = self._now()
+        margin_abs = (
+            request.submitted_s
+            + request.deadline_s * self.config.admission_margin
+        )
+        candidates = [FULL_FIDELITY] + self._ladder_for(request)
+        best_alone: float | None = None
+        for fid in candidates:
+            est_raw = self.estimator.estimate_raw_s(request.scenario, fid)
+            est = est_raw * self.estimator.calibration
+            if now + est > margin_abs:
+                continue  # infeasible even on an idle service
+            if best_alone is None:
+                best_alone = est
+            tentative = Ticket(
+                request, planned=fid, est_raw_s=est_raw, est_s=est
+            )
+            violated = self._violations(extra=tentative)
+            if tentative in violated:
+                continue  # queue ahead pushes us past the deadline
+            if any(
+                t.class_rank <= request.class_rank for t in violated
+            ):
+                # Fitting this rung would break a promise to work at
+                # least as important; degrading ourselves further can
+                # only shrink our footprint, so keep walking.
+                continue
+            return fid, est_raw, est
+        if best_alone is None:
+            detail = (
+                f"even the most degraded fidelity the {request.klass!r} "
+                f"class allows cannot finish inside "
+                f"{request.deadline_s:g}s"
+            )
+        else:
+            detail = (
+                "projected completion misses the deadline behind the "
+                "admitted queue at every fidelity the "
+                f"{request.klass!r} class allows"
+            )
+        raise_exc = DeadlineUnmeetableError(
+            detail, retry_after_s=self._earliest_capacity_s(now)
+        )
+        self._reject(request, raise_exc)
+
+    def _earliest_capacity_s(self, now: float) -> float | None:
+        busy = [w.finish_s for w in self._workers if not w.idle]
+        if not busy:
+            return None
+        return max(0.0, min(busy) - now)
+
+    def _worker_avail(self, now: float) -> list[float]:
+        return [
+            now if w.idle else max(now, w.finish_s) for w in self._workers
+        ]
+
+    def _violations(self, extra: Ticket | None = None) -> list[Ticket]:
+        """Queued tickets whose projected finish misses their margin
+        deadline under EDF list scheduling (optionally with *extra*
+        inserted at its EDF position)."""
+        now = self._now()
+        entries = self.queue.entries()
+        if extra is not None:
+            key = (extra.deadline_abs, extra.class_rank)
+            at = len(entries)
+            for i, t in enumerate(entries):
+                if (t.deadline_abs, t.class_rank) > key:
+                    at = i
+                    break
+            entries = entries[:at] + [extra] + entries[at:]
+        projected = project_schedule(
+            now, self._worker_avail(now), entries
+        )
+        return [
+            t for t, fin in projected
+            if fin > self._margin_deadline(t) + 1e-9
+        ]
+
+    def _relieve_lower_priority(self, new: Ticket) -> None:
+        """Degrade, then shed, lower-priority queued work the new
+        admission pushed past its deadline — never the other way round."""
+        for _ in range(4 * self.config.queue_capacity):
+            victims = [
+                t for t in self._violations()
+                if t is not new and t.class_rank > new.class_rank
+            ]
+            if not victims:
+                return
+            victim = max(
+                victims, key=lambda t: (t.class_rank, t.deadline_abs)
+            )
+            if victim.ladder:
+                fid = victim.ladder.pop(0)
+                victim.planned = fid
+                victim.est_raw_s = self.estimator.estimate_raw_s(
+                    victim.request.scenario, fid
+                )
+                victim.est_s = (
+                    victim.est_raw_s * self.estimator.calibration
+                )
+                action = (fid.actions() or ["degrade"])[-1]
+                self._counter(
+                    "repro_service_degraded_admits_total",
+                    "admissions planned below full fidelity, by action",
+                    labels={"action": action},
+                ).inc()
+                self._note(
+                    "degrade_planned", victim.request.request_id,
+                    f"-> {fid.tag} to admit {new.request.request_id}",
+                )
+            else:
+                self._shed(victim, stage="relieve",
+                           reason=f"displaced by {new.request.request_id}")
+
+    def _shed_for_room(self, incoming: ForecastRequest) -> None:
+        """Make queue room for *incoming* by evicting lower-priority
+        work, or refuse with :class:`~repro.errors.QueueFullError`."""
+        victim = self.queue.shed_candidate(below_rank=incoming.class_rank)
+        if victim is None:
+            self._reject(incoming, QueueFullError(
+                f"queue full ({self.queue.capacity}) with no "
+                "lower-priority work to shed",
+                retry_after_s=self._earliest_capacity_s(self._now()),
+            ))
+        self._shed(victim, stage="queue_full",
+                   reason=f"evicted for {incoming.request_id}")
+
+    def _shed(self, ticket: Ticket, stage: str, reason: str) -> None:
+        """Explicitly drop an admitted request (and its joiners)."""
+        self.queue.remove(ticket)
+        ticket.status = SHED
+        ticket.finished_s = self._now()
+        ticket.outcome_detail = f"shed ({stage}): {reason}"
+        self._counter(
+            "repro_service_shed_total",
+            "admitted requests dropped before completion, by stage",
+            labels={"stage": stage, "class": ticket.request.klass},
+        ).inc()
+        self._note("shed", ticket.request.request_id,
+                   f"stage={stage} {reason}")
+        exc = ServiceOverloadError(f"request shed: {reason}")
+        ticket.error = exc
+        entry = self.cache.fail(
+            ticket.request.cache_key(self.config.platform), exc
+        )
+        if entry is not None:
+            for waiter in entry.waiters:
+                waiter.status = SHED
+                waiter.error = exc
+                waiter.finished_s = self._now()
+                waiter.outcome_detail = "primary of joined flight was shed"
+        self._release_tenant(ticket.request.tenant)
+        self._set_queue_gauges()
+
+    def _release_tenant(self, tenant: str) -> None:
+        n = self._tenant_inflight.get(tenant, 0)
+        if n <= 1:
+            self._tenant_inflight.pop(tenant, None)
+        else:
+            self._tenant_inflight[tenant] = n - 1
+
+    # -- dispatch and completion -----------------------------------------
+
+    def _backend_available(self, br: CircuitBreaker, now: float) -> bool:
+        """Non-mutating 'could allow() pass right now' check."""
+        if br.state == "closed":
+            return True
+        if br.state == "open":
+            return now - br.opened_at >= br.cooldown_s
+        return not br._probe_inflight
+
+    def _pick_backend(self, now: float) -> str | None:
+        for name in self.backends:
+            br = self.breakers[name]
+            if self._backend_available(br, now) and br.allow(now):
+                self._set_breaker_gauge(br)
+                return name
+        return None
+
+    def _doom_s(self, ticket: Ticket) -> float:
+        """Latest start time after which *ticket* must be shed.
+
+        The margin deadline minus the cheapest execution the class still
+        permits (planned fidelity or anything further down its ladder).
+        Degradable work has a later doom time than un-degradable work
+        with the same deadline, because it can still shrink to fit.
+        """
+        est = ticket.est_s
+        for fid in ticket.ladder:
+            est = min(est, self.estimator.estimate_raw_s(
+                ticket.request.scenario, fid
+            ) * self.estimator.calibration)
+        return self._margin_deadline(ticket) - est
+
+    def _pick_next(self) -> Ticket:
+        """Least-laxity dispatch: run whoever is closest to doom.
+
+        Plain EDF dispatch drains the budget of an un-degradable
+        critical request (later deadline, empty ladder) behind
+        degradable earlier-deadline work, then sheds the critical at the
+        dispatch re-check — exactly the priority inversion the service
+        must not have.  Picking the earliest *doom time* instead keeps
+        EDF behaviour whenever everyone has slack, and hands the worker
+        to the request that cannot wait when slack runs out.
+        """
+        entries = self.queue.entries()
+        ticket = min(
+            entries,
+            key=lambda t: (self._doom_s(t), t.deadline_abs, t.class_rank),
+        )
+        self.queue.remove(ticket)
+        return ticket
+
+    def _dispatch(self) -> None:
+        now = self._now()
+        blocked = False  # every backend breaker-refused; stop trying
+        for worker in self._workers:
+            # A synchronous backend failure leaves the worker idle (and
+            # may re-queue the ticket), so keep feeding this worker
+            # until it is busy or the queue has nothing runnable.
+            while worker.idle and len(self.queue) and not blocked:
+                ticket = self._pick_next()
+                if not self._prepare_for_dispatch(ticket, now):
+                    continue  # shed; try the next queued ticket
+                name = self._pick_backend(now)
+                if name is None:
+                    # Wait for a breaker cooldown or a completion.
+                    self.queue.push(ticket)
+                    blocked = True
+                    break
+                self._execute(worker, ticket, name, now)
+        self._set_queue_gauges()
+
+    def _prepare_for_dispatch(self, ticket: Ticket, now: float) -> bool:
+        """Re-check feasibility with the *actual* remaining budget.
+
+        Estimates drift between admission and dispatch (calibration
+        updates, earlier-deadline arrivals jumping the EDF queue).
+        Rather than running work that is already doomed, walk whatever
+        remains of the ticket's ladder; shed explicitly if nothing fits.
+        """
+        remaining = self._margin_deadline(ticket) - now
+        est = (
+            self.estimator.estimate_raw_s(
+                ticket.request.scenario, ticket.planned
+            )
+            * self.estimator.calibration
+        )
+        if est <= remaining:
+            ticket.est_s = est
+            return True
+        while ticket.ladder:
+            fid = ticket.ladder.pop(0)
+            est = (
+                self.estimator.estimate_raw_s(ticket.request.scenario, fid)
+                * self.estimator.calibration
+            )
+            if est <= remaining:
+                ticket.planned = fid
+                ticket.est_s = est
+                self._note(
+                    "degrade_planned", ticket.request.request_id,
+                    f"-> {fid.tag} at dispatch "
+                    f"({remaining:.1f}s budget left)",
+                )
+                return True
+        self._shed(
+            ticket, stage="dispatch",
+            reason=f"{remaining:.1f}s of budget left, needs {est:.1f}s",
+        )
+        return False
+
+    def _execute(
+        self, worker: _Worker, ticket: Ticket, backend_name: str,
+        now: float,
+    ) -> None:
+        budget = max(0.0, self._margin_deadline(ticket) - now)
+        ticket.status = RUNNING
+        ticket.started_s = now
+        ticket.backend = backend_name
+        ticket.attempts += 1
+        backend = self.backends[backend_name]
+        try:
+            result = backend.run(ticket.request, budget)
+        except ServiceError:
+            raise  # configuration problems are bugs, not backend faults
+        except Exception as exc:  # noqa: BLE001 - backend fault domain
+            self._on_backend_failure(ticket, backend_name, exc, now)
+            return
+        br = self.breakers[backend_name]
+        worker.ticket = ticket
+        worker.result = result
+        worker.backend = backend_name
+        worker.finish_s = now + max(0.0, result.cost_s)
+        self._note(
+            "dispatch", ticket.request.request_id,
+            f"backend={backend_name} fidelity={result.fidelity.tag} "
+            f"cost={result.cost_s:.1f}s finish=t+{result.cost_s:.1f}s",
+        )
+        self._set_breaker_gauge(br)
+
+    def _on_backend_failure(
+        self, ticket: Ticket, backend_name: str, exc: Exception, now: float
+    ) -> None:
+        br = self.breakers[backend_name]
+        br.record_failure(now)
+        self._counter(
+            "repro_service_backend_failures_total",
+            "backend executions that raised, by backend",
+            labels={"backend": backend_name},
+        ).inc()
+        if br.state == "open":
+            self._counter(
+                "repro_service_breaker_trips_total",
+                "circuit-breaker open transitions, by backend",
+                labels={"backend": backend_name},
+            ).inc()
+        self._set_breaker_gauge(br)
+        self._note(
+            "backend_failure", ticket.request.request_id,
+            f"backend={backend_name}: {exc}",
+        )
+        retryable = (
+            self.config.retry_failures
+            and ticket.attempts <= 1
+            and ticket.est_s <= self._margin_deadline(ticket) - now
+        )
+        if retryable:
+            ticket.status = QUEUED
+            self.queue.push(ticket)
+            self._note(
+                "requeue", ticket.request.request_id,
+                f"retry after {backend_name} failure",
+            )
+            return
+        ticket.status = FAILED
+        ticket.error = exc
+        ticket.finished_s = now
+        ticket.outcome_detail = f"backend {backend_name} failed: {exc}"
+        self._counter(
+            "repro_service_failed_total",
+            "requests that exhausted execution attempts",
+        ).inc()
+        entry = self.cache.fail(
+            ticket.request.cache_key(self.config.platform), exc
+        )
+        if entry is not None:
+            for waiter in entry.waiters:
+                waiter.status = FAILED
+                waiter.error = exc
+                waiter.finished_s = now
+                waiter.outcome_detail = "primary of joined flight failed"
+        self._release_tenant(ticket.request.tenant)
+
+    def _complete(self, worker: _Worker) -> None:
+        now = self._now()
+        ticket, result = worker.ticket, worker.result
+        worker.ticket = None
+        worker.result = None
+        br = self.breakers[worker.backend]
+        br.record_success(now)
+        self._set_breaker_gauge(br)
+        # Live calibration: observed cost vs the raw model prediction
+        # for the fidelity that actually executed.
+        raw = self.estimator.estimate_raw_s(
+            ticket.request.scenario, result.fidelity
+        )
+        self.estimator.observe(raw, result.cost_s)
+        self._gauge(
+            "repro_service_cost_calibration",
+            "EWMA of observed/predicted execution cost",
+        ).set(self.estimator.calibration)
+
+        self._finish_ok(ticket, result, now)
+        cacheable = result.fidelity.is_full
+        entry = self.cache.resolve(
+            ticket.request.cache_key(self.config.platform),
+            result, now, cacheable=cacheable,
+        )
+        if entry is not None:
+            for waiter in entry.waiters:
+                self._finish_ok(waiter, result, now)
+        self._release_tenant(ticket.request.tenant)
+        self._dispatch()
+
+    def _finish_ok(self, ticket: Ticket, result, now: float) -> None:
+        ticket.status = DONE_OK
+        ticket.result = result
+        ticket.finished_s = now
+        get_registry().histogram(
+            "repro_service_latency_seconds",
+            "submission-to-completion latency",
+            labels={"class": ticket.request.klass},
+            buckets=LATENCY_BUCKETS,
+        ).observe(ticket.latency_s)
+        self._counter(
+            "repro_service_completed_total", "completions by class",
+            labels={"class": ticket.request.klass},
+        ).inc()
+        if result.degraded:
+            self._counter(
+                "repro_service_degraded_results_total",
+                "completions delivered below full fidelity",
+            ).inc()
+        if not ticket.deadline_met:
+            # Accepted work must never miss silently: meter + journal.
+            self._counter(
+                "repro_service_deadline_misses_total",
+                "accepted requests that finished after their deadline",
+            ).inc()
+            _LOG.warning(
+                "deadline_miss",
+                request_id=ticket.request.request_id,
+                finished_s=round(now, 3),
+                deadline_s=round(ticket.deadline_abs, 3),
+            )
+        self._note(
+            "complete", ticket.request.request_id,
+            f"fidelity={result.fidelity.tag} "
+            f"latency={ticket.latency_s:.1f}s "
+            f"deadline_met={ticket.deadline_met}",
+        )
+
+    # -- the event loop --------------------------------------------------
+
+    def next_event_s(self) -> float | None:
+        """Time of the next internal event (completion or breaker probe)."""
+        times = [w.finish_s for w in self._workers if not w.idle]
+        if (
+            len(self.queue)
+            and any(w.idle for w in self._workers)
+        ):
+            now = self._now()
+            waits = [
+                br.retry_after_s(now) for br in self.breakers.values()
+            ]
+            waits = [w for w in waits if w is not None]
+            if waits and not any(
+                self._backend_available(br, now)
+                for br in self.breakers.values()
+            ):
+                times.append(now + min(waits))
+        return min(times) if times else None
+
+    def advance_to(self, t: float) -> None:
+        """Advance service time to *t*, applying completions in order."""
+        while True:
+            due = [
+                w for w in self._workers
+                if not w.idle and w.finish_s <= t + 1e-12
+            ]
+            if not due:
+                break
+            self._event_budget -= 1
+            if self._event_budget <= 0:
+                raise ServiceError("event budget exhausted (runaway loop?)")
+            worker = min(due, key=lambda w: (w.finish_s, w.wid))
+            self.clock.advance_to(worker.finish_s)
+            self._complete(worker)
+        self.clock.advance_to(t)
+        self._dispatch()
+
+    def run_until_idle(self) -> float:
+        """Drain all queued and running work; returns the final time."""
+        while True:
+            nxt = self.next_event_s()
+            if nxt is None:
+                return self._now()
+            self.advance_to(max(nxt, self._now()))
+
+    # -- reporting -------------------------------------------------------
+
+    def stats(self) -> dict:
+        by_status: dict[str, int] = {}
+        for t in self.tickets:
+            by_status[t.status] = by_status.get(t.status, 0) + 1
+        missed = [
+            t.request.request_id
+            for t in self.tickets
+            if t.status == DONE_OK and not t.deadline_met
+        ]
+        return {
+            "tickets": len(self.tickets),
+            "by_status": by_status,
+            "queue_depth": len(self.queue),
+            "queue_peak_depth": self.queue.peak_depth,
+            "deadline_misses": missed,
+            "cache": self.cache.stats(),
+            "breakers": {
+                name: {"state": br.state, "trips": br.trips}
+                for name, br in self.breakers.items()
+            },
+            "calibration": self.estimator.calibration,
+            "tenants_inflight": dict(self._tenant_inflight),
+        }
+
+    def _projected_finish(self, ticket: Ticket) -> float | None:
+        """Best estimate of when *ticket*'s run lands."""
+        if ticket.finished_s is not None:
+            return ticket.finished_s
+        if ticket.status == RUNNING:
+            for w in self._workers:
+                if w.ticket is ticket:
+                    return w.finish_s
+            return None
+        now = self._now()
+        for t, fin in project_schedule(
+            now, self._worker_avail(now), self.queue.entries()
+        ):
+            if t is ticket:
+                return fin
+        return None

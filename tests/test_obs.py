@@ -321,6 +321,28 @@ class TestMetrics:
         assert "repro_empty_seconds_count" in text
         assert "repro_empty_seconds_p50" not in text
 
+    def test_empty_histogram_prometheus_text_exact(self):
+        # Regression: an empty histogram must export zero buckets/sum/
+        # count and no derived quantile gauges — and never the token
+        # `nan`, which scrapers reject.
+        reg = MetricsRegistry()
+        reg.histogram("repro_empty_seconds", "t", buckets=(0.1, 1.0))
+        assert reg.to_prometheus() == (
+            "# HELP repro_empty_seconds t\n"
+            "# TYPE repro_empty_seconds histogram\n"
+            'repro_empty_seconds_bucket{le="0.1"} 0\n'
+            'repro_empty_seconds_bucket{le="1"} 0\n'
+            'repro_empty_seconds_bucket{le="+Inf"} 0\n'
+            "repro_empty_seconds_sum 0\n"
+            "repro_empty_seconds_count 0\n"
+        )
+
+    def test_empty_histogram_quantile_is_zero_not_nan(self):
+        h = Histogram("h", buckets=(0.1, 1.0))
+        for q in (0.0, 0.5, 0.99, 1.0):
+            v = h.quantile(q)
+            assert v == 0.0 and not math.isnan(v)
+
     def test_parse_rejects_malformed_lines(self):
         with pytest.raises(ValueError):
             parse_prometheus("this is not a sample\n")

@@ -24,6 +24,7 @@ from repro.errors import (
     NumericalError,
     PlatformError,
     ReproError,
+    RetryExhaustedError,
 )
 from repro.fault import GaussianSource
 from repro.grid.block import Block
@@ -283,9 +284,14 @@ class TestResilientDistributed:
             calls.append(1)
             raise CommunicationError("always")
 
-        with pytest.raises(CommunicationError):
+        with pytest.raises(RetryExhaustedError) as exc_info:
             retry_with_backoff(boom, attempts=3, backoff_s=0.001)
         assert len(calls) == 3
+        # The exhaustion error says how much was tried and chains the
+        # last underlying failure.
+        assert exc_info.value.attempts == 3
+        assert exc_info.value.elapsed_s >= 0.0
+        assert isinstance(exc_info.value.__cause__, CommunicationError)
 
 
 class TestCheckpointRing:
@@ -509,6 +515,55 @@ class TestDeadlineDegradation:
         assert report.complete
         assert report.degradations == []
         assert report.n_levels_final == report.n_levels_initial
+
+    def test_full_ladder_is_journaled_and_metered(self, tmp_path):
+        """An impossible deadline walks the whole ladder — drop-level,
+        coarsen-output, finish-early — and every DegradationEvent is
+        both journaled (write-ahead, via the RunStore) and metered
+        (``repro_degradations_total{action}``)."""
+        from repro.obs.metrics import get_registry
+        from repro.persist import RunStore
+        from repro.resilience.deadline import DEGRADATION_ORDER
+
+        store = RunStore(tmp_path / "run")
+        reg = get_registry()
+        before = {
+            action: reg.counter(
+                "repro_degradations_total", labels={"action": action}
+            ).value
+            for action in DEGRADATION_ORDER
+        }
+        report = run_resilient_forecast(
+            nested_grid(), FlatBathymetry(50.0),
+            config=SimulationConfig(dt=1.0, boundary="wall"),
+            source=source(), horizon_s=120.0, deadline_s=1e-4,
+            store=store,
+        )
+        assert report.degraded
+        actions = [ev.action for ev in report.degradations]
+        for action in DEGRADATION_ORDER:
+            assert action in actions
+        # Severity order: each action's first use follows the ladder.
+        first_use = [actions.index(a) for a in DEGRADATION_ORDER]
+        assert first_use == sorted(first_use)
+        # Every event was journaled write-ahead, in the same order,
+        # with the action and a human-readable detail.
+        journaled = [
+            ev for ev in store.events() if ev.get("event") == "degradation"
+        ]
+        assert [ev["action"] for ev in journaled] == actions
+        assert all(ev.get("detail") for ev in journaled)
+        assert all("deadline_s" in ev for ev in journaled)
+        # Every event was metered, traced or not.
+        for action in DEGRADATION_ORDER:
+            delta = (
+                reg.counter(
+                    "repro_degradations_total", labels={"action": action}
+                ).value
+                - before[action]
+            )
+            assert delta == actions.count(action)
+            assert delta >= 1
 
 
 class TestDropFinestLevel:

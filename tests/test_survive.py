@@ -16,6 +16,7 @@ from repro.errors import (
     CommunicationError,
     ConfigurationError,
     DecompositionError,
+    RetryExhaustedError,
 )
 from repro.fault import GaussianSource
 from repro.grid.block import Block
@@ -274,7 +275,7 @@ class TestRetryBackoff:
 
         monkeypatch.setattr(rec.time, "sleep", sleep)
         fn, calls = self._failing(99)
-        with pytest.raises(CommunicationError):
+        with pytest.raises(RetryExhaustedError) as exc_info:
             retry_with_backoff(
                 fn,
                 attempts=10,
@@ -285,6 +286,8 @@ class TestRetryBackoff:
         # Sleep 0.05, then 0.10 truncated to the remaining 0.07: the
         # 0.12 s budget is spent after 2 calls, not 10.
         assert calls["n"] == 2
+        assert exc_info.value.attempts == 2
+        assert isinstance(exc_info.value.__cause__, CommunicationError)
 
 
 # -- integration: the survival paths, all bitwise ------------------------
