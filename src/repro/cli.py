@@ -25,7 +25,15 @@ Commands
     metrics): phase breakdown, critical path, slowest spans, rank
     imbalance, ETA accuracy.  Exits 3 when the run directory is
     missing and 4 when it holds no recorded spans (structured JSON
-    error, no traceback) so scripts can tell the cases apart.
+    error, no traceback) so scripts can tell the cases apart.  With
+    ``--request ID`` it instead renders that request's flight-recorder
+    timeline (dumped by the service on shed/failure/deadline breach);
+    exits 5 when no recording exists for the id.
+``slo``
+    Evaluate the service-level objectives of a run: reads ``slo.json``
+    (or a run directory holding one), prints attainment, error-budget
+    remaining, and burn rates per objective, and exits 1 when any
+    error budget is exhausted — the CI gate for the nightly soak.
 ``bench``
     Run the repeated mini-Kochi probe and write a versioned bench
     document (``benchmarks/BENCH_obs.json``) stamped with schema,
@@ -442,6 +450,7 @@ def _cmd_resume(args) -> int:
 #: ``repro inspect`` exit codes (distinct so wrappers can branch).
 EXIT_NO_RUNDIR = 3
 EXIT_NO_SPANS = 4
+EXIT_NO_FLIGHT = 5
 
 
 def _structured_error(code: str, exit_code: int, detail: str,
@@ -459,6 +468,19 @@ def _cmd_inspect(args) -> int:
     from repro.errors import PersistError
     from repro.obs import load_rundir, render_report
 
+    if args.request:
+        from repro.obs import inspect_request
+
+        try:
+            print(inspect_request(args.rundir, args.request))
+        except PersistError as exc:
+            _structured_error(
+                "no-flight", EXIT_NO_FLIGHT, str(exc),
+                hint="flight recordings are dumped for shed, failed, "
+                     "rejected, and deadline-missed requests only",
+            )
+            return EXIT_NO_FLIGHT
+        return 0
     try:
         art = load_rundir(args.rundir)
     except PersistError as exc:
@@ -598,14 +620,24 @@ def _cmd_serve(args) -> int:
     if args.soak:
         from repro.service import SoakConfig, run_soak
 
+        if args.rundir:
+            # Arm the tracer so the exported Chrome trace carries one
+            # span tree per request (request -> backend.run -> ranks).
+            import repro.obs as obs
+
+            obs.reset()
+            obs.enable()
         report = run_soak(SoakConfig(
             duration_s=args.duration,
             rate_multiplier=args.rate,
             seed=args.seed,
             workers=args.workers,
             queue_capacity=args.queue_capacity,
-        ))
+        ), rundir=args.rundir)
         print(report.summary())
+        if args.rundir:
+            print(f"wrote soak artifacts (slo.json, trace.json, "
+                  f"metrics.json, flight/) under {args.rundir}")
         if args.export_metrics:
             get_registry().write_json(args.export_metrics)
             print(f"wrote metrics snapshot: {args.export_metrics}")
@@ -664,6 +696,27 @@ def _cmd_serve(args) -> int:
         get_registry().write_json(args.export_metrics)
         print(f"wrote metrics snapshot: {args.export_metrics}")
     return 0 if bad == 0 else 1
+
+
+def _cmd_slo(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import PersistError
+    from repro.obs import load_slo_report, render_slo_doc
+
+    target = Path(args.target)
+    path = target / "slo.json" if target.is_dir() else target
+    try:
+        doc = load_slo_report(path)
+    except PersistError as exc:
+        _structured_error(
+            "no-slo", EXIT_NO_RUNDIR, str(exc),
+            hint="produce one with `repro serve --soak --rundir DIR`",
+        )
+        return EXIT_NO_RUNDIR
+    lines, ok = render_slo_doc(doc)
+    print("\n".join(lines))
+    return 0 if ok else 1
 
 
 def _cmd_submit(args) -> int:
@@ -840,6 +893,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_in.add_argument("rundir", help="run directory to inspect")
     p_in.add_argument("--top", type=int, default=10, metavar="N",
                       help="number of slowest spans to list (default: 10)")
+    p_in.add_argument("--request", default=None, metavar="ID",
+                      help="render this request's flight-recorder "
+                           "timeline instead of the aggregate report")
+
+    p_sl = sub.add_parser(
+        "slo",
+        help="evaluate SLO attainment / error budgets from slo.json",
+    )
+    p_sl.add_argument("target",
+                      help="slo.json path, or a run directory holding one")
 
     from repro.obs.baseline import (
         DEFAULT_PLATFORM,
@@ -973,6 +1036,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_se.add_argument("--export-metrics", default=None, metavar="PATH",
                       help="write a metrics.json snapshot (shed/latency/"
                            "queue-depth series) after serving")
+    p_se.add_argument("--rundir", default=None, metavar="DIR",
+                      help="(soak only) write slo.json, trace.json, "
+                           "metrics.json, and flight/ recordings into DIR; "
+                           "arms the tracer for per-request trace trees")
 
     p_su = sub.add_parser(
         "submit",
@@ -1018,6 +1085,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "resume": _cmd_resume,
         "inspect": _cmd_inspect,
+        "slo": _cmd_slo,
         "bench": _cmd_bench,
         "compare": _cmd_compare,
         "retune": _cmd_retune,

@@ -15,7 +15,13 @@
   modeled schedules render in the same viewer;
 * :mod:`~repro.obs.log` — structured JSONL logging with rank/step
   context;
-* :mod:`~repro.obs.inspect` — the ``repro inspect <rundir>`` summarizer.
+* :mod:`~repro.obs.inspect` — the ``repro inspect <rundir>`` summarizer;
+* :mod:`~repro.obs.flight` — per-request flight recorder: a bounded
+  event ring per in-flight request, dumped on shed/failure/deadline
+  breach and rendered by ``repro inspect --request <id>``;
+* :mod:`~repro.obs.slo` — declarative service-level objectives with
+  error-budget tracking and multi-window burn-rate alerts, gated by
+  ``repro slo``.
 
 One switch arms the whole layer::
 
@@ -29,7 +35,16 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.obs import baseline, critpath, log, metrics, regression, trace
+from repro.obs import (
+    baseline,
+    critpath,
+    flight,
+    log,
+    metrics,
+    regression,
+    slo,
+    trace,
+)
 from repro.obs.baseline import BaselineStore, run_bench
 from repro.obs.critpath import analyze_queues, analyze_spans
 from repro.obs.regression import compare_docs
@@ -37,12 +52,21 @@ from repro.obs.export import (
     chrome_trace,
     kernel_events_to_chrome,
     queue_occupancy,
+    service_events_to_chrome,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.flight import (
+    FlightBook,
+    FlightRecorder,
+    flight_path,
+    load_flight,
+    render_flight,
 )
 from repro.obs.inspect import (
     breakdowns_from_spans,
     imbalance_ratio,
+    inspect_request,
     inspect_rundir,
     load_rundir,
     render_report,
@@ -51,8 +75,18 @@ from repro.obs.inspect import (
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry, parse_prometheus
+from repro.obs.slo import SLO, SLOEngine, load_slo_report, render_slo_doc
 from repro.obs.timebase import TIMEBASE, mono_us, timestamp_pair
-from repro.obs.trace import Tracer, get_tracer, instant, set_context, span
+from repro.obs.trace import (
+    TraceContext,
+    Tracer,
+    context,
+    current_context,
+    get_tracer,
+    instant,
+    set_context,
+    span,
+)
 
 
 def enable() -> None:
@@ -89,38 +123,54 @@ def export_run(rundir, kernel_events=None) -> tuple[Path, Path]:
 __all__ = [
     "TIMEBASE",
     "BaselineStore",
+    "FlightBook",
+    "FlightRecorder",
     "MetricsRegistry",
+    "SLO",
+    "SLOEngine",
+    "TraceContext",
     "Tracer",
     "analyze_queues",
     "analyze_spans",
     "baseline",
     "breakdowns_from_spans",
     "compare_docs",
+    "context",
     "critpath",
     "chrome_trace",
     "configure_logging",
+    "current_context",
     "disable",
     "enable",
     "export_run",
+    "flight",
+    "flight_path",
     "get_logger",
     "get_registry",
     "get_tracer",
     "imbalance_ratio",
+    "inspect_request",
     "inspect_rundir",
     "instant",
     "is_enabled",
     "kernel_events_to_chrome",
+    "load_flight",
     "load_rundir",
+    "load_slo_report",
     "log",
     "metrics",
     "mono_us",
     "parse_prometheus",
     "queue_occupancy",
     "regression",
+    "render_flight",
     "render_report",
+    "render_slo_doc",
     "reset",
     "run_bench",
+    "service_events_to_chrome",
     "set_context",
+    "slo",
     "span",
     "timestamp_pair",
     "top_spans",

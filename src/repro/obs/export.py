@@ -47,6 +47,11 @@ def chrome_trace_events(spans: list[dict]) -> list[dict]:
         args = dict(s.get("args") or {})
         if rank is not None:
             args.setdefault("rank", rank)
+        # Trace context rides in the args: Perfetto queries can then
+        # reassemble one request's tree across rank tracks by trace_id.
+        for key in ("trace_id", "span_id", "parent_id"):
+            if s.get(key) is not None:
+                args[key] = s[key]
         if args:
             ev["args"] = args
         if s.get("dur_us", 0.0) > 0.0:
@@ -94,9 +99,60 @@ def kernel_events_to_chrome(
     return events
 
 
+def service_events_to_chrome(
+    service_events, pid: int = 2,
+    pid_name: str = "service (virtual clock)",
+) -> list[dict]:
+    """Chrome instants from :class:`repro.service.service.ServiceEvent`.
+
+    Each request gets its own track (``tid``, assigned in first-seen
+    order and named after the request id), and every decision —
+    admit, degrade, shed, breaker trip, completion — lands on it as an
+    instant (``"ph": "i"``), so in Perfetto the service's choices read
+    inline above the rank spans they caused.  Timestamps are the
+    service's *virtual* clock seconds scaled to microseconds, kept on a
+    separate ``pid`` so the two time axes don't visually interleave.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": pid_name},
+        }
+    ]
+    tids: dict[str, int] = {}
+    for ev in service_events:
+        rid = ev.request_id
+        tid = tids.get(rid)
+        if tid is None:
+            tid = tids[rid] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": rid},
+                }
+            )
+        args = {"request_id": rid, "trace_id": rid}
+        if ev.detail:
+            args["detail"] = ev.detail
+        events.append(
+            {
+                "name": ev.kind,
+                "cat": "service",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": ev.t * 1e6,
+                "args": args,
+            }
+        )
+    return events
+
+
 def chrome_trace(
     tracer: Tracer | None = None,
     kernel_events=None,
+    service_events=None,
 ) -> dict:
     """The full Chrome trace document for a run.
 
@@ -118,14 +174,17 @@ def chrome_trace(
     events.extend(chrome_trace_events(tracer.export()))
     if kernel_events:
         events.extend(kernel_events_to_chrome(kernel_events))
+    if service_events:
+        events.extend(service_events_to_chrome(service_events))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path, tracer: Tracer | None = None,
-                       kernel_events=None) -> Path:
+                       kernel_events=None, service_events=None) -> Path:
     """Atomically write a Chrome trace JSON file; returns its path."""
     path = Path(path)
-    doc = chrome_trace(tracer, kernel_events=kernel_events)
+    doc = chrome_trace(tracer, kernel_events=kernel_events,
+                       service_events=service_events)
     tmp = path.with_name(f".tmp-{path.name}")
     tmp.write_text(json.dumps(doc))
     os.replace(tmp, path)

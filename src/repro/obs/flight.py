@@ -1,0 +1,219 @@
+"""Per-request flight recorder: the last N events of one request's life.
+
+A service under overload makes dozens of decisions about each request —
+admit at a planned fidelity, re-degrade at dispatch, retry after a
+backend fault, shed to relieve a critical arrival — and when one request
+ends badly the question is always *what happened to this one*, not what
+the aggregate counters say.  The flight recorder answers it the way an
+aircraft's does: a bounded ring buffer per in-flight request capturing
+state transitions, degradations, retries, breaker trips, recovery
+epochs, and queue-depth samples, each stamped with the service's virtual
+time **and** the shared monotonic+wall pair from
+:mod:`repro.obs.timebase` (so flight events line up with trace spans and
+journal records on either axis).
+
+On a bad ending — shed, failure, or deadline breach — the recorder is
+dumped as ``flight/<request_id>.json`` under the run directory, and
+``repro inspect --request <id>`` renders the timeline.  Memory stays
+bounded everywhere: N events per request (oldest dropped, drop count
+kept), and a bounded ring of settled recorders.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict, deque
+from pathlib import Path
+
+from repro.obs.timebase import TIMEBASE
+
+#: Schema stamp of one dumped flight recording.
+FLIGHT_SCHEMA = "repro.obs.flight/1"
+
+#: Subdirectory of a run directory holding dumped recordings.
+FLIGHT_DIR = "flight"
+
+
+class FlightRecorder:
+    """Bounded event ring for one request."""
+
+    __slots__ = ("request_id", "capacity", "meta", "dropped", "outcome",
+                 "_events")
+
+    def __init__(self, request_id: str, capacity: int = 64,
+                 meta: dict | None = None) -> None:
+        self.request_id = request_id
+        self.capacity = int(capacity)
+        self.meta = dict(meta or {})
+        self.dropped = 0
+        self.outcome: str | None = None
+        self._events: deque[dict] = deque(maxlen=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def record(self, kind: str, detail: str = "",
+               t_service: float | None = None, **fields) -> None:
+        """Append one event; the oldest falls off a full ring."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        ts_wall, ts_mono_us = TIMEBASE.pair()
+        ev: dict = {
+            "kind": kind,
+            "ts_wall": ts_wall,
+            "ts_mono_us": ts_mono_us,
+        }
+        if t_service is not None:
+            ev["t_service"] = round(float(t_service), 6)
+        if detail:
+            ev["detail"] = detail
+        if fields:
+            ev.update(fields)
+        self._events.append(ev)
+
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def to_dict(self) -> dict:
+        doc: dict = {
+            "schema": FLIGHT_SCHEMA,
+            "request_id": self.request_id,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "events": self.events(),
+        }
+        if self.meta:
+            doc["meta"] = self.meta
+        if self.outcome is not None:
+            doc["outcome"] = self.outcome
+        return doc
+
+
+class FlightBook:
+    """All live (and a bounded ring of settled) flight recorders.
+
+    *out_dir* — typically ``<rundir>/flight`` — enables on-disk dumps;
+    without it the book is purely in-memory (unit tests, ad-hoc runs).
+    """
+
+    def __init__(self, capacity: int = 64, keep: int = 512,
+                 out_dir=None) -> None:
+        if capacity < 1 or keep < 1:
+            raise ValueError("flight capacity and keep must be >= 1")
+        self.capacity = int(capacity)
+        self.keep = int(keep)
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self._live: dict[str, FlightRecorder] = {}
+        self._settled: OrderedDict[str, FlightRecorder] = OrderedDict()
+
+    def open(self, request_id: str, **meta) -> FlightRecorder:
+        """Start (or return) the recorder for one in-flight request."""
+        rec = self._live.get(request_id)
+        if rec is None:
+            rec = FlightRecorder(request_id, self.capacity, meta=meta)
+            self._live[request_id] = rec
+        return rec
+
+    def get(self, request_id: str) -> FlightRecorder | None:
+        return self._live.get(request_id) or self._settled.get(request_id)
+
+    def note(self, request_id: str, kind: str, detail: str = "",
+             t_service: float | None = None, **fields) -> None:
+        """Record into an open recorder; silently ignores unknown ids."""
+        rec = self._live.get(request_id)
+        if rec is not None:
+            rec.record(kind, detail, t_service=t_service, **fields)
+
+    def settle(self, request_id: str, outcome: str | None = None,
+               dump: bool = False) -> Path | None:
+        """Close a request's recorder; optionally dump it to disk.
+
+        The settled ring keeps the most recent :attr:`keep` recorders so
+        post-mortems of a just-finished soak stay possible without
+        unbounded growth.  Returns the dump path when one was written.
+        """
+        rec = self._live.pop(request_id, None)
+        if rec is None:
+            return None
+        if outcome is not None:
+            rec.outcome = outcome
+        self._settled[request_id] = rec
+        while len(self._settled) > self.keep:
+            self._settled.popitem(last=False)
+        if dump:
+            return self.dump(request_id)
+        return None
+
+    def dump(self, request_id: str) -> Path | None:
+        """Atomically write ``<out_dir>/<request_id>.json``; None if
+        the book has no directory or no such recorder."""
+        rec = self.get(request_id)
+        if rec is None or self.out_dir is None:
+            return None
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path = self.out_dir / f"{request_id}.json"
+        tmp = path.with_name(f".tmp-{path.name}")
+        tmp.write_text(json.dumps(rec.to_dict(), indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def stats(self) -> dict:
+        return {
+            "live": len(self._live),
+            "settled": len(self._settled),
+            "dropped_events": (
+                sum(r.dropped for r in self._live.values())
+                + sum(r.dropped for r in self._settled.values())
+            ),
+        }
+
+
+def flight_path(rundir, request_id: str) -> Path:
+    """Where one request's dumped recording lives under a run directory."""
+    return Path(rundir) / FLIGHT_DIR / f"{request_id}.json"
+
+
+def load_flight(path) -> dict:
+    """Load and sanity-check one dumped flight recording."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != FLIGHT_SCHEMA:
+        raise ValueError(
+            f"{path} is not a flight recording "
+            f"(schema {doc.get('schema')!r}, want {FLIGHT_SCHEMA!r})"
+        )
+    return doc
+
+
+def render_flight(doc: dict) -> str:
+    """Human timeline of one flight recording (the ``--request`` view)."""
+    lines = [f"flight recorder : {doc.get('request_id', '?')}"]
+    meta = doc.get("meta") or {}
+    if meta:
+        lines.append(
+            "request         : "
+            + " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        )
+    if doc.get("outcome"):
+        lines.append(f"outcome         : {doc['outcome']}")
+    events = doc.get("events", [])
+    dropped = doc.get("dropped", 0)
+    lines.append(
+        f"events          : {len(events)} recorded, {dropped} dropped "
+        f"(ring capacity {doc.get('capacity', '?')})"
+    )
+    skip = {"kind", "detail", "ts_wall", "ts_mono_us", "t_service"}
+    for ev in events:
+        t = ev.get("t_service")
+        stamp = f"t={t:>10.3f}s" if t is not None else " " * 13
+        line = f"  {stamp}  {ev.get('kind', '?'):<18}"
+        if ev.get("detail"):
+            line += f" {ev['detail']}"
+        extra = {k: v for k, v in ev.items() if k not in skip}
+        if extra:
+            line += "  [" + " ".join(
+                f"{k}={v}" for k, v in sorted(extra.items())
+            ) + "]"
+        lines.append(line)
+    return "\n".join(lines)

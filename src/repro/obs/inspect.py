@@ -296,3 +296,32 @@ def render_report(art: RunArtifacts, top_n: int = 10) -> str:
 def inspect_rundir(rundir, top_n: int = 10) -> str:
     """Render the full inspection report for one run directory."""
     return render_report(load_rundir(rundir), top_n)
+
+
+def inspect_request(rundir, request_id: str) -> str:
+    """Render one request's flight-recorder timeline from a run directory.
+
+    The ``repro inspect --request <id>`` view: loads
+    ``flight/<request_id>.json`` (dumped by the service on shed,
+    failure, or deadline breach) and renders the bounded event ring —
+    the post-mortem for *that* request rather than the aggregate run.
+    """
+    from repro.obs.flight import flight_path, load_flight, render_flight
+
+    path = flight_path(rundir, request_id)
+    if not path.exists():
+        flight_dir = path.parent
+        have = (
+            sorted(p.stem for p in flight_dir.glob("*.json"))
+            if flight_dir.is_dir() else []
+        )
+        hint = (
+            "recorded requests: " + ", ".join(have)
+            if have else "no flight recordings in this run directory "
+            "(only bad endings are dumped)"
+        )
+        raise PersistError(
+            f"no flight recording for {request_id!r} under {flight_dir}; "
+            + hint
+        )
+    return render_flight(load_flight(path))

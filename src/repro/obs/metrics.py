@@ -36,6 +36,17 @@ DEFAULT_SECONDS_BUCKETS = (
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 
+#: Counter of NaN/negative histogram inputs counted-and-skipped instead
+#: of corrupting ``sum``/quantiles; exported only once non-zero.
+BAD_OBSERVATIONS_NAME = "repro_metrics_bad_observations_total"
+
+
+def _exemplar_text(ex: tuple[str, float] | None) -> str:
+    """OpenMetrics-style exemplar suffix for one bucket sample line."""
+    if ex is None:
+        return ""
+    return f' # {{trace_id="{ex[0]}"}} {ex[1]:g}'
+
 #: Quantile summaries exported for every non-empty histogram.
 QUANTILE_SUFFIXES: tuple[tuple[float, str], ...] = (
     (0.50, "p50"),
@@ -94,9 +105,17 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative fixed-bucket histogram (Prometheus semantics)."""
+    """Cumulative fixed-bucket histogram (Prometheus semantics).
 
-    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+    Each bucket retains the **most recent exemplar** — the ``trace_id``
+    (and exact value) of one observation that landed in it — so a
+    latency-tail bucket links straight to the trace and flight record of
+    a request that produced it.  Retention is bounded by construction:
+    one exemplar per bucket, overwritten in place.
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count",
+                 "exemplars", "bad_observations")
 
     def __init__(
         self,
@@ -112,15 +131,29 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # +Inf tail
         self.sum = 0.0
         self.count = 0
+        #: Per-bucket ``(trace_id, value)`` of the newest observation.
+        self.exemplars: list[tuple[str, float] | None] = (
+            [None] * (len(self.buckets) + 1)
+        )
+        #: NaN / negative inputs counted and *skipped* — they would
+        #: otherwise poison ``sum`` and every derived quantile.
+        self.bad_observations = 0
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
+        if math.isnan(value) or value < 0:
+            self.bad_observations += 1
+            return
         self.sum += value
         self.count += 1
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
+                if trace_id is not None:
+                    self.exemplars[i] = (str(trace_id), value)
                 return
         self.counts[-1] += 1
+        if trace_id is not None:
+            self.exemplars[-1] = (str(trace_id), value)
 
     def cumulative_counts(self) -> list[int]:
         """Counts as Prometheus exposes them: cumulative, ending at +Inf."""
@@ -209,7 +242,18 @@ class MetricsRegistry:
             if isinstance(m, Histogram) or not name.startswith(prefix):
                 continue
             out[name + _labels_text(lkey)] = m.value
+        bad = self.bad_observations_total()
+        if bad and BAD_OBSERVATIONS_NAME.startswith(prefix):
+            out[BAD_OBSERVATIONS_NAME] = float(bad)
         return out
+
+    def bad_observations_total(self) -> int:
+        """NaN/negative observations skipped across every histogram."""
+        return sum(
+            m.bad_observations
+            for _k, m in self._items()
+            if isinstance(m, Histogram)
+        )
 
     # -- export ----------------------------------------------------------
 
@@ -231,11 +275,17 @@ class MetricsRegistry:
                 typed.add(name)
             if isinstance(m, Histogram):
                 cum = m.cumulative_counts()
-                for bound, c in zip(m.buckets, cum):
+                for i, (bound, c) in enumerate(zip(m.buckets, cum)):
                     lb = _labels_text(lkey + (("le", f"{bound:g}"),))
-                    lines.append(f"{name}_bucket{lb} {c}")
+                    lines.append(
+                        f"{name}_bucket{lb} {c}"
+                        + _exemplar_text(m.exemplars[i])
+                    )
                 lb = _labels_text(lkey + (("le", "+Inf"),))
-                lines.append(f"{name}_bucket{lb} {cum[-1]}")
+                lines.append(
+                    f"{name}_bucket{lb} {cum[-1]}"
+                    + _exemplar_text(m.exemplars[-1])
+                )
                 lines.append(f"{name}_sum{_labels_text(lkey)} {m.sum:g}")
                 lines.append(f"{name}_count{_labels_text(lkey)} {m.count}")
                 # Derived p50/p95/p99 summaries (bucket-resolution upper
@@ -254,6 +304,10 @@ class MetricsRegistry:
                         )
             else:
                 lines.append(f"{name}{_labels_text(lkey)} {m.value:g}")
+        bad = self.bad_observations_total()
+        if bad:
+            lines.append(f"# TYPE {BAD_OBSERVATIONS_NAME} counter")
+            lines.append(f"{BAD_OBSERVATIONS_NAME} {bad}")
         return "\n".join(lines) + "\n"
 
     def to_dict(self) -> dict:
@@ -268,12 +322,22 @@ class MetricsRegistry:
             elif isinstance(m, Gauge):
                 gauges[full] = m.value
             else:
-                histograms[full] = {
+                entry = {
                     "buckets": list(m.buckets),
                     "counts": list(m.counts),
                     "sum": m.sum,
                     "count": m.count,
                 }
+                if any(ex is not None for ex in m.exemplars):
+                    entry["exemplars"] = [
+                        None if ex is None
+                        else {"trace_id": ex[0], "value": ex[1]}
+                        for ex in m.exemplars
+                    ]
+                histograms[full] = entry
+        bad = self.bad_observations_total()
+        if bad:
+            counters[BAD_OBSERVATIONS_NAME] = float(bad)
         return {
             "schema": "repro.obs.metrics/1",
             "counters": counters,
@@ -292,17 +356,28 @@ class MetricsRegistry:
 
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)"
+    r"(?:\s+#\s+(?P<exemplar>\{[^}]*\}\s+\S+(?:\s+\S+)?))?$"
+)
+
+_EXEMPLAR_RE = re.compile(
+    r'^\{trace_id="(?P<trace_id>[^"]*)"\}\s+(?P<value>\S+)'
 )
 
 
-def parse_prometheus(text: str) -> dict[str, float]:
+def parse_prometheus(
+    text: str, exemplars: dict | None = None
+) -> dict[str, float]:
     """Parse Prometheus text format into ``{sample_name: value}``.
 
     Sample names include their label set verbatim (e.g.
     ``repro_step_seconds_bucket{le="0.01"}``), so
     ``parse_prometheus(reg.to_prometheus())`` round-trips every sample a
-    scraper would see.  Raises :class:`ValueError` on malformed lines.
+    scraper would see.  OpenMetrics-style exemplar suffixes
+    (``... # {trace_id="req-3"} 4.2``) are accepted; pass an
+    *exemplars* dict to collect them as
+    ``{sample_name: {"trace_id": ..., "value": ...}}``.  Raises
+    :class:`ValueError` on malformed lines.
     """
     out: dict[str, float] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -314,6 +389,13 @@ def parse_prometheus(text: str) -> dict[str, float]:
             raise ValueError(f"malformed prometheus line {lineno}: {line!r}")
         name = m.group("name") + (m.group("labels") or "")
         out[name] = float(m.group("value"))
+        if exemplars is not None and m.group("exemplar"):
+            ex = _EXEMPLAR_RE.match(m.group("exemplar"))
+            if ex is not None:
+                exemplars[name] = {
+                    "trace_id": ex.group("trace_id"),
+                    "value": float(ex.group("value")),
+                }
     return out
 
 

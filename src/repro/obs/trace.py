@@ -14,18 +14,31 @@ allocation, no clock read.  Production code can therefore instrument
 hot loops unconditionally; the <5 % overhead guard in
 ``tests/test_obs.py`` keeps it honest.
 
+Spans carry **trace context**: every span gets a ``span_id``, inherits
+the ``trace_id``/parent of the innermost open span on its thread, and —
+when no span is open — falls back to the thread's bound
+:class:`TraceContext`.  The context crosses thread boundaries explicitly
+(:func:`current_context` captured by the spawner,
+``set_context(trace=...)`` bound by the spawned thread — the simulated
+MPI ranks in :func:`repro.par.comm.run_ranks` do exactly this), so one
+forecast request submitted to the service renders as a single trace tree
+from admission through every rank's step/halo/checkpoint spans.
+
 Usage::
 
     from repro.obs import trace
 
     trace.enable()
-    with trace.span("NLMASS", cat="compute", level=1):
-        ...
+    with trace.context(trace.TraceContext("req-1")):
+        with trace.span("NLMASS", cat="compute", level=1):
+            ...
     trace.get_tracer().export()   # list of span dicts, or use repro.obs.export
 """
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import threading
 
 from repro.obs.timebase import TIMEBASE
@@ -61,11 +74,33 @@ _NOOP = _NoopSpan()
 NOOP_SPAN = _NOOP
 
 
+class TraceContext:
+    """The propagated identity of one request's trace.
+
+    ``trace_id`` names the whole tree (the service uses the request id);
+    ``parent_span_id`` is the span the next root-level span on a bound
+    thread should hang under.  Immutable by convention — bind a fresh
+    one instead of mutating.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id")
+
+    def __init__(self, trace_id: str,
+                 parent_span_id: str | None = None) -> None:
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceContext(trace_id={self.trace_id!r}, "
+                f"parent_span_id={self.parent_span_id!r})")
+
+
 class Span:
     """One live (then finished) traced region."""
 
     __slots__ = ("name", "cat", "rank", "tid", "ts_us", "dur_us",
-                 "depth", "args", "_tracer")
+                 "depth", "args", "trace_id", "span_id", "parent_id",
+                 "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str,
                  args: dict | None) -> None:
@@ -78,6 +113,18 @@ class Span:
         self.rank = tls.rank
         self.tid = tls.tid
         self.depth = len(tls.stack)
+        self.span_id = f"s{next(tracer._span_ids)}"
+        if tls.stack:
+            parent = tls.stack[-1]
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+        elif tls.ctx_stack:
+            ctx = tls.ctx_stack[-1]
+            self.trace_id = ctx.trace_id
+            self.parent_id = ctx.parent_span_id
+        else:
+            self.trace_id = None
+            self.parent_id = None
         tls.stack.append(self)
         self.ts_us = TIMEBASE.mono_us()
 
@@ -108,6 +155,11 @@ class _TlsState(threading.local):
         self.rank: int | None = None
         self.tid: int = threading.get_ident()
         self.registered = False
+        self.ctx_stack: list[TraceContext] = []
+
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``.
+_UNSET = object()
 
 
 class Tracer:
@@ -119,6 +171,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._buffers: list[list[Span]] = []
         self._drained: list[Span] = []
+        self._span_ids = itertools.count(1)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -133,6 +186,7 @@ class Tracer:
             self._buffers.clear()
             self._drained.clear()
         self._tls = _TlsState()
+        self._span_ids = itertools.count(1)
 
     # -- context ---------------------------------------------------------
 
@@ -144,9 +198,42 @@ class Tracer:
             tls.registered = True
         return tls
 
-    def set_context(self, rank: int | None = None) -> None:
-        """Bind rank context to the calling thread's future spans."""
-        self._tls_state().rank = rank
+    def set_context(self, rank: int | None = None, trace=_UNSET) -> None:
+        """Bind rank (and optionally trace) context to the calling thread.
+
+        ``trace`` rebinds the thread's base :class:`TraceContext` (or
+        clears it with ``None``); omitting it leaves the current trace
+        binding untouched, so the rank threads' ``set_context(rank=r)``
+        never loses the request context handed to them at spawn.
+        """
+        tls = self._tls_state()
+        tls.rank = rank
+        if trace is not _UNSET:
+            tls.ctx_stack[:] = [trace] if trace is not None else []
+
+    @contextlib.contextmanager
+    def context(self, ctx: TraceContext):
+        """Scope *ctx* over the calling thread's root-level spans."""
+        tls = self._tls_state()
+        tls.ctx_stack.append(ctx)
+        try:
+            yield ctx
+        finally:
+            tls.ctx_stack.pop()
+
+    def current_context(self) -> TraceContext | None:
+        """The context a child thread should inherit from this thread.
+
+        The innermost *open* span wins (its id becomes the child's
+        parent), falling back to the thread's bound context; ``None``
+        when neither exists (e.g. the tracer never ran on this thread).
+        """
+        tls = self._tls_state()
+        if tls.stack:
+            top = tls.stack[-1]
+            if top.trace_id is not None:
+                return TraceContext(top.trace_id, top.span_id)
+        return tls.ctx_stack[-1] if tls.ctx_stack else None
 
     # -- recording -------------------------------------------------------
 
@@ -177,8 +264,9 @@ class Tracer:
 
     def export(self) -> list[dict]:
         """Finished spans as plain dicts (JSON-ready)."""
-        return [
-            {
+        out = []
+        for s in self.spans():
+            d = {
                 "name": s.name,
                 "cat": s.cat,
                 "rank": s.rank,
@@ -187,10 +275,16 @@ class Tracer:
                 "dur_us": s.dur_us,
                 "depth": s.depth,
                 "ts_wall": TIMEBASE.wall_of(s.ts_us),
-                **({"args": s.args} if s.args else {}),
             }
-            for s in self.spans()
-        ]
+            if s.trace_id is not None:
+                d["trace_id"] = s.trace_id
+                d["span_id"] = s.span_id
+                if s.parent_id is not None:
+                    d["parent_id"] = s.parent_id
+            if s.args:
+                d["args"] = s.args
+            out.append(d)
+        return out
 
 
 #: The process-wide tracer used by all built-in instrumentation.
@@ -213,8 +307,18 @@ def clear() -> None:
     _TRACER.clear()
 
 
-def set_context(rank: int | None = None) -> None:
-    _TRACER.set_context(rank=rank)
+def set_context(rank: int | None = None, trace=_UNSET) -> None:
+    _TRACER.set_context(rank=rank, trace=trace)
+
+
+def context(ctx: TraceContext):
+    """Scope *ctx* over the calling thread's root-level spans."""
+    return _TRACER.context(ctx)
+
+
+def current_context() -> TraceContext | None:
+    """Context a spawned thread should inherit (see :class:`Tracer`)."""
+    return _TRACER.current_context()
 
 
 def span(name: str, cat: str = CAT_COMPUTE, **args):

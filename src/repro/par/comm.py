@@ -472,7 +472,18 @@ def run_ranks(
     world = _World(n_ranks)
     results: list[Any] = [None] * n_ranks
 
+    # Trace context crosses the thread boundary here: capture the
+    # spawner's context once and bind it on every rank thread, so a
+    # request's rank-level spans hang under the service's request span
+    # (one trace tree per request in the Chrome export).
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    trace_ctx = tracer.current_context() if tracer.enabled else None
+
     def _runner(rank: int) -> None:
+        if trace_ctx is not None:
+            tracer.set_context(trace=trace_ctx)
         comm = Communicator(world, rank, timeout=comm_timeout)
         if comm_wrap is not None:
             comm = comm_wrap(comm)

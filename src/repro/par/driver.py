@@ -445,7 +445,12 @@ def run_distributed(
                 "interrupted", signal=sig, phase="distributed"
             )
         )
-    with guard:
+    # A root span over the whole group: run_ranks captures this thread's
+    # context while it is open, so every rank's span tree hangs under it.
+    with guard, _span(
+        "distributed", cat="step",
+        n_ranks=decomp.n_ranks, n_steps=n_steps,
+    ):
         results = run_ranks(
             decomp.n_ranks,
             rank_main,

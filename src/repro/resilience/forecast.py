@@ -95,7 +95,13 @@ def run_resilient_forecast(
         max_output_every=max_output_every,
         journal=store.record_event if store is not None else None,
     )
-    final = engine.run()
+    from repro.obs.trace import span as _span
+
+    with _span(
+        "forecast", cat="step",
+        horizon_s=horizon_s, platform=str(platform),
+    ):
+        final = engine.run()
 
     rollbacks = sum(1 for ev in engine.recoveries if ev.kind == "rollback")
     degraded = (

@@ -66,7 +66,7 @@ from repro.core.config import SimulationConfig
 from repro.core.model import RTiModel
 from repro.errors import CommunicationError, ConfigurationError
 from repro.obs.log import get_logger
-from repro.obs.trace import get_tracer
+from repro.obs.trace import get_tracer, instant
 from repro.par.comm import run_ranks
 from repro.par.decomposition import Decomposition
 from repro.par.driver import _build_topology, _RankRuntime
@@ -747,6 +747,12 @@ def survivable_run_distributed(
                 incarnation=len(report.incarnations) - 1,
                 n_ranks=current.n_ranks,
             )
+            # Marker on the request's trace: a flat-line moment in the
+            # tree that explains the recovery spans following it.
+            instant(
+                "rank_failure", ranks=list(dead), at_step=at_step,
+                incarnation=len(report.incarnations) - 1,
+            )
         _LOG.warning(
             "rank_failure" if dead else "comm_failure",
             dead=list(dead),
@@ -839,6 +845,10 @@ def survivable_run_distributed(
             action=action,
             n_ranks=current.n_ranks,
             dead=list(dead),
+        )
+        instant(
+            "recovery_epoch", epoch=epoch_now, step=start_step,
+            action=action, n_ranks=current.n_ranks,
         )
         if reg is not None:
             reg.gauge(

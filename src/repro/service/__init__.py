@@ -34,6 +34,7 @@ from repro.service.request import (
     scenario_key,
 )
 from repro.service.service import (
+    EventRing,
     ForecastService,
     ServiceConfig,
     ServiceEvent,
@@ -55,6 +56,7 @@ __all__ = [
     "CacheEntry",
     "CircuitBreaker",
     "CostEstimator",
+    "EventRing",
     "FULL_FIDELITY",
     "Fidelity",
     "ForecastRequest",

@@ -202,9 +202,22 @@ class SimulatedBackend:
         request: ForecastRequest,
         budget_s: float | None,
     ) -> BackendResult:
+        from repro.obs.trace import span
+
         self.runs += 1
         key = request.cache_key(self.name)
         self.runs_by_key[key] = self.runs_by_key.get(key, 0) + 1
+        # A span even for the priced (non-executing) backend, so soak
+        # traces show every request's backend leg under its tree.
+        with span("backend.run", cat="service",
+                  backend=self.name, request_id=request.request_id):
+            return self._run_priced(request, budget_s)
+
+    def _run_priced(
+        self,
+        request: ForecastRequest,
+        budget_s: float | None,
+    ) -> BackendResult:
         if self.fail_when is not None and self.fail_when(request):
             raise NumericalError(
                 f"injected backend failure for {request.request_id}"

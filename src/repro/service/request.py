@@ -207,6 +207,15 @@ class ForecastRequest:
             "scenario": self.scenario,
         }
 
+    def brief(self) -> dict:
+        """Identity-only summary (no scenario payload) — the metadata a
+        flight recorder or log line carries about the request."""
+        return {
+            "tenant": self.tenant,
+            "class": self.klass,
+            "deadline_s": self.deadline_s,
+        }
+
     @classmethod
     def from_dict(cls, d: dict) -> ForecastRequest:
         kwargs = {

@@ -30,6 +30,8 @@ reproducible bit-for-bit from its seed.
 
 from __future__ import annotations
 
+import contextlib
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import (
@@ -40,8 +42,10 @@ from repro.errors import (
     ServiceOverloadError,
     TenantQuotaError,
 )
+from repro.obs.flight import FlightBook
 from repro.obs.log import get_logger
 from repro.obs.metrics import get_registry
+from repro.obs.trace import TraceContext, get_tracer
 from repro.service.admission import CostEstimator, project_schedule
 from repro.service.breaker import CircuitBreaker
 from repro.service.cache import DONE, SingleFlightCache
@@ -89,6 +93,13 @@ class ServiceConfig:
     platform: str = "squid-gpu"
     #: One re-queue after a backend failure, deadline permitting.
     retry_failures: bool = True
+    #: Newest :class:`ServiceEvent`\ s kept in memory (older dropped
+    #: and counted) — long soaks must not grow without bound.
+    event_buffer: int = 4096
+    #: Flight-recorder ring size per in-flight request.
+    flight_events: int = 64
+    #: Settled flight recorders retained in memory for post-mortems.
+    flight_keep: int = 512
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -100,6 +111,10 @@ class ServiceConfig:
             )
         if self.tenant_quota < 1:
             raise ServiceError("tenant_quota must be >= 1")
+        if self.event_buffer < 1:
+            raise ServiceError("event_buffer must be >= 1")
+        if self.flight_events < 1 or self.flight_keep < 1:
+            raise ServiceError("flight_events and flight_keep must be >= 1")
 
 
 @dataclass
@@ -122,6 +137,8 @@ class Ticket:
     backend: str | None = None
     attempts: int = 0
     outcome_detail: str = ""
+    #: Trace identity of this request's span tree (the request id).
+    trace_id: str = ""
     #: For joined tickets: the primary whose run resolves us.
     joined_to: "Ticket | None" = None
 
@@ -173,6 +190,44 @@ class ServiceEvent:
     detail: str = ""
 
 
+class EventRing:
+    """Bounded :class:`ServiceEvent` buffer — newest kept, drops counted.
+
+    Reads like the list it replaced (len / iteration / indexing) so the
+    journal-dump and test paths keep working, but a week-long soak can
+    no longer grow service memory without limit; the journal remains the
+    complete record when one is attached.
+    """
+
+    __slots__ = ("capacity", "dropped", "_events")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServiceError("event ring capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.dropped = 0
+        self._events: deque[ServiceEvent] = deque(maxlen=self.capacity)
+
+    def append(self, ev: ServiceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(ev)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._events)[index]
+        return self._events[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+
 class ForecastService:
     """Admission control, EDF queueing, shedding, caching, breakers.
 
@@ -192,6 +247,13 @@ class ForecastService:
         Optional ``callable(event_name, **fields)`` (e.g.
         ``RunStore.record_event``) receiving every admission, shed,
         breaker, and completion decision.
+    slo:
+        Optional :class:`repro.obs.slo.SLOEngine` fed one
+        availability / latency / freshness outcome per settled request,
+        on the service's virtual clock.
+    flight_dir:
+        Directory for dumped flight recordings (typically
+        ``<rundir>/flight``); recordings stay in-memory-only without it.
     """
 
     def __init__(
@@ -201,6 +263,8 @@ class ForecastService:
         estimator: CostEstimator | None = None,
         clock=None,
         journal=None,
+        slo=None,
+        flight_dir=None,
     ) -> None:
         self.config = config or ServiceConfig()
         if not isinstance(backends, dict):
@@ -226,7 +290,13 @@ class ForecastService:
         self._workers = [_Worker(i) for i in range(self.config.workers)]
         self._tenant_inflight: dict[str, int] = {}
         self.tickets: list[Ticket] = []
-        self.events: list[ServiceEvent] = []
+        self.events = EventRing(self.config.event_buffer)
+        self.slo = slo
+        self.flight = FlightBook(
+            capacity=self.config.flight_events,
+            keep=self.config.flight_keep,
+            out_dir=flight_dir,
+        )
         self._event_budget = 1_000_000
 
     # -- small helpers ---------------------------------------------------
@@ -235,9 +305,18 @@ class ForecastService:
         return self.clock.now()
 
     def _note(self, kind: str, request_id: str, detail: str = "") -> None:
+        before = self.events.dropped
         self.events.append(
             ServiceEvent(self._now(), kind, request_id, detail)
         )
+        if self.events.dropped > before:
+            self._counter(
+                "repro_service_events_dropped_total",
+                "service events aged out of the bounded in-memory ring",
+            ).inc()
+        # Every decision also lands on the request's own flight recorder
+        # (a no-op for requests without an open recorder).
+        self.flight.note(request_id, kind, detail, t_service=self._now())
         if self.journal is not None:
             self.journal(
                 "service_" + kind,
@@ -245,6 +324,25 @@ class ForecastService:
                 request_id=request_id,
                 detail=detail,
             )
+
+    def _record_slo_completion(self, ticket: Ticket, result, now: float):
+        """One settled-well request: availability good, latency and
+        freshness judged on how it actually landed."""
+        if self.slo is None:
+            return
+        self.slo.record("availability", now, True)
+        self.slo.record("latency", now, bool(ticket.deadline_met))
+        fidelity = getattr(result, "fidelity", None)
+        self.slo.record(
+            "freshness", now,
+            bool(fidelity.is_full) if fidelity is not None else True,
+        )
+
+    def _record_slo_loss(self, now: float) -> None:
+        """One shed/failed admitted request: availability bad.  Latency
+        and freshness are completion-conditioned, so nothing else."""
+        if self.slo is not None:
+            self.slo.record("availability", now, False)
 
     def _counter(self, name: str, help: str, labels: dict | None = None):
         return get_registry().counter(name, help, labels=labels)
@@ -281,6 +379,10 @@ class ForecastService:
         ).inc()
         self._note("reject", request.request_id,
                    f"{type(exc).__name__}: {exc}")
+        self.flight.settle(
+            request.request_id,
+            outcome=f"rejected: {type(exc).__name__}", dump=True,
+        )
         raise exc
 
     # -- admission -------------------------------------------------------
@@ -295,6 +397,7 @@ class ForecastService:
         """
         now = self._now()
         request.submitted_s = now
+        self.flight.open(request.request_id, **request.brief())
         self._counter(
             "repro_service_requests_total", "submissions by class",
             labels={"class": request.klass},
@@ -303,7 +406,10 @@ class ForecastService:
         key = request.cache_key(self.config.platform)
         entry = self.cache.lookup(key)
         if entry is not None and entry.state == DONE and entry.error is None:
-            ticket = Ticket(request, status=CACHED, result=entry.result)
+            ticket = Ticket(
+                request, status=CACHED, result=entry.result,
+                trace_id=request.request_id,
+            )
             ticket.finished_s = now
             ticket.outcome_detail = "served from result cache"
             self.cache.record_hit(entry)
@@ -313,6 +419,10 @@ class ForecastService:
             ).inc()
             self.tickets.append(ticket)
             self._note("cache_hit", request.request_id, key[:12])
+            self._record_slo_completion(ticket, entry.result, now)
+            self.flight.settle(
+                request.request_id, outcome="served from cache"
+            )
             return ticket
         if entry is not None and entry.state != DONE:
             # Single-flight join: piggyback on the identical in-flight
@@ -338,7 +448,10 @@ class ForecastService:
                     f"t={projected:.1f}s, after the request deadline",
                     retry_after_s=max(0.0, projected - now),
                 ))
-            ticket = Ticket(request, status=JOINED, joined_to=entry.primary)
+            ticket = Ticket(
+                request, status=JOINED, joined_to=entry.primary,
+                trace_id=request.request_id,
+            )
             self.cache.join(entry, ticket)
             self._counter(
                 "repro_service_singleflight_joins_total",
@@ -375,6 +488,7 @@ class ForecastService:
             planned=fidelity,
             est_raw_s=est_raw,
             est_s=est,
+            trace_id=request.request_id,
         )
         full_ladder = self._ladder_for(request)
         ticket.ladder = self._ladder_after(full_ladder, fidelity)
@@ -401,6 +515,10 @@ class ForecastService:
             "admit", request.request_id,
             f"class={request.klass} fidelity={fidelity.tag} "
             f"est={est:.1f}s deadline=+{request.deadline_s:g}s",
+        )
+        self.flight.note(
+            request.request_id, "queue_depth", t_service=now,
+            depth=len(self.queue), capacity=self.queue.capacity,
         )
         self._set_queue_gauges()
         self._relieve_lower_priority(ticket)
@@ -578,6 +696,11 @@ class ForecastService:
                    f"stage={stage} {reason}")
         exc = ServiceOverloadError(f"request shed: {reason}")
         ticket.error = exc
+        self._record_slo_loss(self._now())
+        self.flight.settle(
+            ticket.request.request_id,
+            outcome=ticket.outcome_detail, dump=True,
+        )
         entry = self.cache.fail(
             ticket.request.cache_key(self.config.platform), exc
         )
@@ -587,6 +710,11 @@ class ForecastService:
                 waiter.error = exc
                 waiter.finished_s = self._now()
                 waiter.outcome_detail = "primary of joined flight was shed"
+                self._record_slo_loss(self._now())
+                self.flight.settle(
+                    waiter.request.request_id,
+                    outcome=waiter.outcome_detail, dump=True,
+                )
         self._release_tenant(ticket.request.tenant)
         self._set_queue_gauges()
 
@@ -718,13 +846,33 @@ class ForecastService:
         ticket.backend = backend_name
         ticket.attempts += 1
         backend = self.backends[backend_name]
-        try:
-            result = backend.run(ticket.request, budget)
-        except ServiceError:
-            raise  # configuration problems are bugs, not backend faults
-        except Exception as exc:  # noqa: BLE001 - backend fault domain
-            self._on_backend_failure(ticket, backend_name, exc, now)
-            return
+        # Bind the request's trace context around the backend run: the
+        # "request" span becomes the root of the request's tree, and any
+        # rank threads the backend spawns inherit it via run_ranks.
+        tracer = get_tracer()
+        with contextlib.ExitStack() as stack:
+            if tracer.enabled:
+                stack.enter_context(
+                    tracer.context(
+                        TraceContext(
+                            ticket.trace_id or ticket.request.request_id
+                        )
+                    )
+                )
+                stack.enter_context(tracer.span(
+                    "request", cat="service",
+                    request_id=ticket.request.request_id,
+                    klass=ticket.request.klass,
+                    backend=backend_name,
+                    attempt=ticket.attempts,
+                ))
+            try:
+                result = backend.run(ticket.request, budget)
+            except ServiceError:
+                raise  # configuration problems are bugs, not backend faults
+            except Exception as exc:  # noqa: BLE001 - backend fault domain
+                self._on_backend_failure(ticket, backend_name, exc, now)
+                return
         br = self.breakers[backend_name]
         worker.ticket = ticket
         worker.result = result
@@ -753,6 +901,11 @@ class ForecastService:
                 "circuit-breaker open transitions, by backend",
                 labels={"backend": backend_name},
             ).inc()
+            self._note(
+                "breaker_open", ticket.request.request_id,
+                f"backend={backend_name} after "
+                f"{br.failure_threshold} failures",
+            )
         self._set_breaker_gauge(br)
         self._note(
             "backend_failure", ticket.request.request_id,
@@ -779,6 +932,11 @@ class ForecastService:
             "repro_service_failed_total",
             "requests that exhausted execution attempts",
         ).inc()
+        self._record_slo_loss(now)
+        self.flight.settle(
+            ticket.request.request_id,
+            outcome=ticket.outcome_detail, dump=True,
+        )
         entry = self.cache.fail(
             ticket.request.cache_key(self.config.platform), exc
         )
@@ -788,6 +946,11 @@ class ForecastService:
                 waiter.error = exc
                 waiter.finished_s = now
                 waiter.outcome_detail = "primary of joined flight failed"
+                self._record_slo_loss(now)
+                self.flight.settle(
+                    waiter.request.request_id,
+                    outcome=waiter.outcome_detail, dump=True,
+                )
         self._release_tenant(ticket.request.tenant)
 
     def _complete(self, worker: _Worker) -> None:
@@ -825,12 +988,17 @@ class ForecastService:
         ticket.status = DONE_OK
         ticket.result = result
         ticket.finished_s = now
+        # The exemplar links this latency bucket back to the request's
+        # trace tree and flight recording.
         get_registry().histogram(
             "repro_service_latency_seconds",
             "submission-to-completion latency",
             labels={"class": ticket.request.klass},
             buckets=LATENCY_BUCKETS,
-        ).observe(ticket.latency_s)
+        ).observe(
+            ticket.latency_s,
+            trace_id=ticket.trace_id or ticket.request.request_id,
+        )
         self._counter(
             "repro_service_completed_total", "completions by class",
             labels={"class": ticket.request.klass},
@@ -857,6 +1025,18 @@ class ForecastService:
             f"fidelity={result.fidelity.tag} "
             f"latency={ticket.latency_s:.1f}s "
             f"deadline_met={ticket.deadline_met}",
+        )
+        self._record_slo_completion(ticket, result, now)
+        # A deadline breach is a bad ending: dump the recorder so
+        # `repro inspect --request` can explain the miss.
+        met = bool(ticket.deadline_met)
+        self.flight.settle(
+            ticket.request.request_id,
+            outcome=(
+                f"completed at fidelity {result.fidelity.tag}"
+                + ("" if met else " — DEADLINE MISSED")
+            ),
+            dump=not met,
         )
 
     # -- the event loop --------------------------------------------------
@@ -930,6 +1110,8 @@ class ForecastService:
             },
             "calibration": self.estimator.calibration,
             "tenants_inflight": dict(self._tenant_inflight),
+            "events_dropped": self.events.dropped,
+            "flight": self.flight.stats(),
         }
 
     def _projected_finish(self, ticket: Ticket) -> float | None:

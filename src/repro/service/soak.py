@@ -130,6 +130,8 @@ class SoakReport:
     calibration: float
     final_time_s: float
     integrity_failures: list
+    #: ``slo.json``-shaped SLO report when the soak ran with an engine.
+    slo: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -172,6 +174,10 @@ class SoakReport:
             lines.append(
                 f"  INTEGRITY FAILURES: {self.integrity_failures}"
             )
+        if self.slo is not None:
+            from repro.obs.slo import render_slo_doc
+
+            lines.extend("  " + ln for ln in render_slo_doc(self.slo)[0])
         lines.append("  invariants: " + ("OK" if self.ok else "VIOLATED"))
         return "\n".join(lines)
 
@@ -189,18 +195,34 @@ def run_soak(
     config: SoakConfig | None = None,
     backend=None,
     service: ForecastService | None = None,
+    rundir=None,
+    slo=None,
 ) -> SoakReport:
     """Run one seeded soak; returns the checked report.
 
     The service, backend, arrival process, and request mix are all
     derived from ``config.seed`` on the virtual clock — two runs with
     the same config are identical, including every shed decision.
+
+    *rundir* makes the soak a fully inspectable run: flight recordings
+    of bad endings land under ``<rundir>/flight/``, and after the drain
+    the directory gets ``slo.json``, ``metrics.json``, and a
+    ``trace.json`` whose service decisions ride as instant events.
+    *slo* supplies a pre-configured :class:`repro.obs.slo.SLOEngine`;
+    one with the default objectives is created when a service is built
+    here (pass an explicitly constructed *service* to opt out).
     """
+    from pathlib import Path
+
     config = config or SoakConfig()
     rng = random.Random(config.seed)
     if backend is None:
         backend = SimulatedBackend(noise=config.backend_noise)
     if service is None:
+        if slo is None:
+            from repro.obs.slo import SOAK_SLOS, SLOEngine
+
+            slo = SLOEngine(slos=SOAK_SLOS)
         service = ForecastService(
             backend,
             ServiceConfig(
@@ -209,7 +231,13 @@ def run_soak(
                 tenant_quota=config.tenant_quota,
             ),
             estimator=getattr(backend, "estimator", None),
+            slo=slo,
+            flight_dir=(
+                Path(rundir) / "flight" if rundir is not None else None
+            ),
         )
+    else:
+        slo = slo if slo is not None else service.slo
     estimator = service.estimator
 
     scenarios = synthetic_scenarios(rng, config.scenario_pool)
@@ -325,4 +353,18 @@ def run_soak(
             "repro_soak_max_runs_per_key",
             "most executions any one scenario key needed",
         ).set(max(runs_by_key.values()))
+
+    if slo is not None:
+        report.slo = slo.export_gauges(final_time).to_dict()
+    if rundir is not None:
+        rundir = Path(rundir)
+        rundir.mkdir(parents=True, exist_ok=True)
+        if slo is not None:
+            slo.write_json(rundir / "slo.json", final_time)
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(
+            rundir / "trace.json", service_events=list(service.events)
+        )
+        reg.write_json(rundir / "metrics.json")
     return report

@@ -347,6 +347,62 @@ class TestMetrics:
         with pytest.raises(ValueError):
             parse_prometheus("this is not a sample\n")
 
+    def test_exemplar_prometheus_text_exact(self):
+        # One observation with a trace_id: its bucket line (and only its
+        # bucket line) carries an OpenMetrics exemplar suffix.
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds", "t", buckets=(0.1, 1.0))
+        h.observe(0.05, trace_id="req-3")
+        h.observe(0.5)  # no trace_id -> no exemplar on the 1.0 bucket
+        text = reg.to_prometheus()
+        assert ('repro_lat_seconds_bucket{le="0.1"} 1 '
+                '# {trace_id="req-3"} 0.05') in text
+        assert 'repro_lat_seconds_bucket{le="1"} 2\n' in text
+
+    def test_parse_prometheus_collects_exemplars(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "repro_lat_seconds", labels={"class": "critical"},
+            buckets=(0.1, 1.0),
+        )
+        h.observe(0.05, trace_id="req-1")
+        h.observe(12.0, trace_id="req-2")
+        exemplars: dict = {}
+        samples = parse_prometheus(reg.to_prometheus(), exemplars)
+        key = 'repro_lat_seconds_bucket{class="critical",le="0.1"}'
+        assert samples[key] == 1
+        assert exemplars[key] == {"trace_id": "req-1", "value": 0.05}
+        inf_key = 'repro_lat_seconds_bucket{class="critical",le="+Inf"}'
+        assert exemplars[inf_key] == {"trace_id": "req-2", "value": 12.0}
+
+    def test_exemplar_keeps_most_recent_per_bucket(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(0.2, trace_id="old")
+        h.observe(0.3, trace_id="new")
+        assert h.exemplars[0] == ("new", 0.3)
+
+    def test_bad_observations_counted_and_skipped(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(math.nan)
+        h.observe(-1.0, trace_id="req-9")
+        assert h.count == 1 and h.sum == pytest.approx(0.5)
+        assert h.bad_observations == 2
+        # The poison never lands in a bucket or exemplar slot...
+        assert h.cumulative_counts() == [1, 1]
+        assert h.exemplars == [None, None]
+        # ...but is loudly metered in both export formats.
+        samples = parse_prometheus(reg.to_prometheus())
+        assert samples["repro_metrics_bad_observations_total"] == 2
+        assert reg.to_dict()["counters"][
+            "repro_metrics_bad_observations_total"] == 2
+
+    def test_clean_registry_omits_bad_observation_counter(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_lat_seconds", buckets=(1.0,)).observe(0.5)
+        assert "bad_observations" not in reg.to_prometheus()
+
     def test_metrics_json_snapshot(self, tmp_path):
         reg = MetricsRegistry()
         reg.counter("c").inc(3)
