@@ -164,8 +164,12 @@ def _obs_setup(args) -> bool:
     return True
 
 
-def _obs_export(args) -> None:
-    """Write the requested trace/metrics artifacts after a traced run."""
+def _obs_export(args, physics_samples=None) -> None:
+    """Write the requested trace/metrics artifacts after a traced run.
+
+    *physics_samples* (sample dicts from a physics-instrumented run)
+    become ``"ph": "C"`` counter tracks merged into the Chrome trace.
+    """
     from pathlib import Path
 
     import repro.obs as obs
@@ -177,7 +181,7 @@ def _obs_export(args) -> None:
             Path(args.export_trace) if args.export_trace
             else base / "trace.json"
         )
-        obs.write_chrome_trace(trace_path)
+        obs.write_chrome_trace(trace_path, physics_samples=physics_samples)
         print(f"wrote Chrome trace: {trace_path} (load in ui.perfetto.dev)")
     metrics_path = None
     if args.export_metrics is not None:
@@ -191,7 +195,9 @@ def _obs_export(args) -> None:
         # A traced persistent run always leaves both artifacts in the
         # rundir so `repro inspect` finds them.
         if trace_path != base / "trace.json":
-            obs.write_chrome_trace(base / "trace.json")
+            obs.write_chrome_trace(
+                base / "trace.json", physics_samples=physics_samples
+            )
         if metrics_path != base / "metrics.json":
             obs.get_registry().write_json(base / "metrics.json")
 
@@ -273,7 +279,10 @@ def _cmd_forecast(args) -> int:
         print(report.summary())
         _print_products(report.model, mk.grid)
         if traced:
-            _obs_export(args)
+            _obs_export(
+                args,
+                physics_samples=(report.physics or {}).get("samples"),
+            )
         return 0
 
     model = RTiModel(mk.grid, mk.bathymetry, SimulationConfig(dt=mk.dt))
@@ -451,6 +460,9 @@ def _cmd_resume(args) -> int:
 EXIT_NO_RUNDIR = 3
 EXIT_NO_SPANS = 4
 EXIT_NO_FLIGHT = 5
+EXIT_NO_PHYSICS = 6
+#: The run's physics verdict is ``diverged`` (gate failure, not an error).
+EXIT_PHYSICS_DIVERGED = 7
 
 
 def _structured_error(code: str, exit_code: int, detail: str,
@@ -481,6 +493,21 @@ def _cmd_inspect(args) -> int:
             )
             return EXIT_NO_FLIGHT
         return 0
+    if args.physics:
+        from repro.obs import inspect_physics
+
+        try:
+            text, ok = inspect_physics(args.rundir)
+        except PersistError as exc:
+            _structured_error(
+                "no-physics", EXIT_NO_PHYSICS, str(exc),
+                hint="physics.json is written by `repro forecast "
+                     "--deadline --rundir DIR` and by soaks whose "
+                     "backend carries physics verdicts",
+            )
+            return EXIT_NO_PHYSICS
+        print(text)
+        return 0 if ok else EXIT_PHYSICS_DIVERGED
     try:
         art = load_rundir(args.rundir)
     except PersistError as exc:
@@ -633,11 +660,13 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             workers=args.workers,
             queue_capacity=args.queue_capacity,
+            diverge_fraction=args.diverge_fraction,
         ), rundir=args.rundir)
         print(report.summary())
         if args.rundir:
             print(f"wrote soak artifacts (slo.json, trace.json, "
-                  f"metrics.json, flight/) under {args.rundir}")
+                  f"metrics.json, physics.json, flight/) under "
+                  f"{args.rundir}")
         if args.export_metrics:
             get_registry().write_json(args.export_metrics)
             print(f"wrote metrics snapshot: {args.export_metrics}")
@@ -896,6 +925,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_in.add_argument("--request", default=None, metavar="ID",
                       help="render this request's flight-recorder "
                            "timeline instead of the aggregate report")
+    p_in.add_argument("--physics", action="store_true",
+                      help="render the physics health timeline "
+                           "(physics.json) instead of the aggregate "
+                           "report; exits non-zero on a diverged verdict")
 
     p_sl = sub.add_parser(
         "slo",
@@ -1033,6 +1066,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_se.add_argument("--queue-capacity", type=_positive_int, default=24,
                       metavar="N",
                       help="admission queue bound (default: 24)")
+    p_se.add_argument("--diverge-fraction", type=float, default=0.0,
+                      metavar="F",
+                      help="(soak only) deterministic fraction of "
+                           "scenarios whose runs diverge; the simulated "
+                           "sentinel aborts them early and stamps the "
+                           "verdict (default: 0)")
     p_se.add_argument("--export-metrics", default=None, metavar="PATH",
                       help="write a metrics.json snapshot (shed/latency/"
                            "queue-depth series) after serving")

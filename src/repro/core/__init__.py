@@ -28,10 +28,14 @@ from repro.core.momentum import nlmnt2, momentum_core
 from repro.core.boundary import apply_open_boundary, apply_wall_boundary
 from repro.core.outputs import OutputAccumulator
 from repro.core.config import SimulationConfig
-from repro.core.model import RTiModel
+from repro.core.model import CompositeMonitor, RTiModel
+from repro.core.gauges import Gauge, GaugeRecorder
 
 __all__ = [
     "BlockState",
+    "CompositeMonitor",
+    "Gauge",
+    "GaugeRecorder",
     "nlmass",
     "nlmnt2",
     "momentum_core",

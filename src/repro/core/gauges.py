@@ -38,6 +38,19 @@ class Gauge:
     def max_eta(self) -> float:
         return max(self.eta) if self.eta else float("nan")
 
+    def arrival_time(self, threshold: float = 0.01) -> float:
+        """First recorded time [s] where eta reaches *threshold* [m].
+
+        ``inf`` if the wave never arrived (matching the convention of
+        :class:`repro.core.outputs.OutputAccumulator`), including for an
+        empty series — so callers can test ``math.isinf`` uniformly
+        instead of special-casing NaN.
+        """
+        for t, eta in zip(self.times, self.eta):
+            if eta >= threshold:
+                return t
+        return float("inf")
+
 
 class GaugeRecorder:
     """Attach to a model and call :meth:`record` after each step.
@@ -47,8 +60,16 @@ class GaugeRecorder:
     configuration error worth failing loudly on).
     """
 
-    def __init__(self, model: RTiModel, stations: list[tuple[str, float, float]]):
+    def __init__(
+        self,
+        model: RTiModel,
+        stations: list[tuple[str, float, float]],
+        every: int = 1,
+    ):
+        if every < 1:
+            raise ConfigurationError("sampling interval must be >= 1")
         self.model = model
+        self.every = every
         self.gauges: list[Gauge] = []
         for name, x, y in stations:
             g = Gauge(name=name, x=x, y=y)
@@ -79,6 +100,17 @@ class GaugeRecorder:
             g.times.append(self.model.time)
             g.eta.append(float(st.z_old[g._j, g._i]))
 
+    def after_step(self, model: RTiModel) -> None:
+        """Monitor hook: sample on the recorder's cadence.
+
+        Lets a recorder ride :meth:`RTiModel.run`'s monitor slot —
+        alone or inside a :class:`~repro.core.model.CompositeMonitor` —
+        instead of requiring the dedicated :meth:`run_and_record` loop.
+        Pure read of ``z_old``: never perturbs the run.
+        """
+        if model.step_count % self.every == 0:
+            self.record()
+
     def run_and_record(self, n_steps: int, every: int = 1) -> None:
         """Integrate the model, sampling every *every* steps."""
         if every < 1:
@@ -88,11 +120,33 @@ class GaugeRecorder:
             if (k + 1) % every == 0:
                 self.record()
 
+    def restore(self, times: list[float], rows: list[list[float]]) -> None:
+        """Reload previously recorded samples (resume support).
+
+        *rows* holds one eta value per gauge for each entry of *times*,
+        in gauge order — the shape the persist layer's ``gauges.csv``
+        stores.  Replaces any in-memory history, so a resumed run's
+        gauges report max eta and arrival times over the *whole* run,
+        not just the tail integrated after the restart.
+        """
+        if any(len(row) != len(self.gauges) for row in rows):
+            raise ConfigurationError(
+                "gauge restore rows do not match the station list"
+            )
+        for k, g in enumerate(self.gauges):
+            g.times = [float(t) for t in times]
+            g.eta = [float(row[k]) for row in rows]
+
     def summary(self) -> str:
-        lines = [f"{'gauge':>12} {'level':>5} {'max eta [m]':>12} {'samples':>8}"]
+        lines = [
+            f"{'gauge':>12} {'level':>5} {'max eta [m]':>12} "
+            f"{'arrival [s]':>12} {'samples':>8}"
+        ]
         for g in self.gauges:
+            arrival = g.arrival_time()
+            arr = f"{arrival:>12.1f}" if np.isfinite(arrival) else f"{'—':>12}"
             lines.append(
                 f"{g.name:>12} {g.level:>5} {g.max_eta:>12.3f} "
-                f"{len(g.eta):>8}"
+                f"{arr} {len(g.eta):>8}"
             )
         return "\n".join(lines)

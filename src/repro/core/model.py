@@ -49,6 +49,44 @@ from repro.topo.bathymetry import ShelfBathymetry
 from repro.xchg.halo import exchange_halo
 
 
+class CompositeMonitor:
+    """Fan one ``after_step`` hook out to several monitors, in order.
+
+    Lets a health monitor, a gauge recorder, and a physics sampler ride
+    the same :meth:`RTiModel.run` hook without wrapping hacks.  Any
+    monitor may raise (typically
+    :class:`~repro.errors.NumericalError`) to abort the run; later
+    monitors in the list are then skipped, matching single-monitor
+    semantics.  ``reset_baseline`` — called by the recovery engine after
+    a rollback or a level drop — propagates to every child that has one.
+    Monitors without an ``after_step`` method are rejected up front.
+    """
+
+    def __init__(self, monitors) -> None:
+        self.monitors = list(monitors)
+        for mon in self.monitors:
+            if not callable(getattr(mon, "after_step", None)):
+                raise ConfigurationError(
+                    f"monitor {mon!r} has no after_step(model) method"
+                )
+
+    def after_step(self, model: "RTiModel") -> None:
+        for mon in self.monitors:
+            mon.after_step(model)
+
+    def reset_baseline(self) -> None:
+        for mon in self.monitors:
+            reset = getattr(mon, "reset_baseline", None)
+            if callable(reset):
+                reset()
+
+    def __iter__(self):
+        return iter(self.monitors)
+
+    def __len__(self) -> int:
+        return len(self.monitors)
+
+
 class RTiModel:
     """Coupled TUNAMI-N2 model on a validated nested grid.
 
@@ -362,7 +400,9 @@ class RTiModel:
         *monitor* is any object with ``after_step(model)`` — e.g. a
         :class:`repro.resilience.HealthMonitor` — invoked after every
         step; it may raise (typically
-        :class:`~repro.errors.NumericalError`) to abort the run.
+        :class:`~repro.errors.NumericalError`) to abort the run.  A
+        list or tuple of such objects is wrapped in a
+        :class:`CompositeMonitor` so several observers compose.
 
         *store* is an optional :class:`repro.persist.RunStore`.  When
         given, the loop spills a checksummed on-disk snapshot every
@@ -376,6 +416,8 @@ class RTiModel:
         steps = self.config.n_steps if n_steps is None else n_steps
         if steps < 0:
             raise ConfigurationError("n_steps must be non-negative")
+        if isinstance(monitor, (list, tuple)):
+            monitor = CompositeMonitor(monitor)
 
         if store is None:
             import contextlib

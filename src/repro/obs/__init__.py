@@ -21,7 +21,12 @@
   breach and rendered by ``repro inspect --request <id>``;
 * :mod:`~repro.obs.slo` — declarative service-level objectives with
   error-budget tracking and multi-window burn-rate alerts, gated by
-  ``repro slo``.
+  ``repro slo``;
+* :mod:`~repro.obs.physics` — in-situ *solution* observability: the
+  numerical-health sampler (mass drift, CFL margin, wet front, gauge
+  anomalies) and the divergence sentinel that aborts doomed runs early,
+  exported as ``repro_physics_*`` metrics, ``physics.json``, and Chrome
+  counter tracks, rendered by ``repro inspect --physics``.
 
 One switch arms the whole layer::
 
@@ -41,6 +46,7 @@ from repro.obs import (
     flight,
     log,
     metrics,
+    physics,
     regression,
     slo,
     trace,
@@ -51,6 +57,7 @@ from repro.obs.regression import compare_docs
 from repro.obs.export import (
     chrome_trace,
     kernel_events_to_chrome,
+    physics_counter_events,
     queue_occupancy,
     service_events_to_chrome,
     validate_chrome_trace,
@@ -66,11 +73,21 @@ from repro.obs.flight import (
 from repro.obs.inspect import (
     breakdowns_from_spans,
     imbalance_ratio,
+    inspect_physics,
     inspect_request,
     inspect_rundir,
     load_rundir,
     render_report,
     top_spans,
+)
+from repro.obs.physics import (
+    DivergenceSentinel,
+    PhysicsDivergenceError,
+    PhysicsSampler,
+    load_physics_report,
+    physics_doc,
+    render_physics_doc,
+    write_physics_json,
 )
 from repro.obs.log import configure as configure_logging
 from repro.obs.log import get_logger
@@ -109,12 +126,16 @@ def reset() -> None:
     get_registry().clear()
 
 
-def export_run(rundir, kernel_events=None) -> tuple[Path, Path]:
+def export_run(
+    rundir, kernel_events=None, physics_samples=None
+) -> tuple[Path, Path]:
     """Write ``trace.json`` and ``metrics.json`` into *rundir*."""
     rundir = Path(rundir)
     rundir.mkdir(parents=True, exist_ok=True)
     trace_path = write_chrome_trace(
-        rundir / "trace.json", kernel_events=kernel_events
+        rundir / "trace.json",
+        kernel_events=kernel_events,
+        physics_samples=physics_samples,
     )
     metrics_path = get_registry().write_json(rundir / "metrics.json")
     return trace_path, metrics_path
@@ -123,9 +144,12 @@ def export_run(rundir, kernel_events=None) -> tuple[Path, Path]:
 __all__ = [
     "TIMEBASE",
     "BaselineStore",
+    "DivergenceSentinel",
     "FlightBook",
     "FlightRecorder",
     "MetricsRegistry",
+    "PhysicsDivergenceError",
+    "PhysicsSampler",
     "SLO",
     "SLOEngine",
     "TraceContext",
@@ -149,21 +173,27 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "imbalance_ratio",
+    "inspect_physics",
     "inspect_request",
     "inspect_rundir",
     "instant",
     "is_enabled",
     "kernel_events_to_chrome",
     "load_flight",
+    "load_physics_report",
     "load_rundir",
     "load_slo_report",
     "log",
     "metrics",
     "mono_us",
     "parse_prometheus",
+    "physics",
+    "physics_counter_events",
+    "physics_doc",
     "queue_occupancy",
     "regression",
     "render_flight",
+    "render_physics_doc",
     "render_report",
     "render_slo_doc",
     "reset",
@@ -177,4 +207,5 @@ __all__ = [
     "trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_physics_json",
 ]

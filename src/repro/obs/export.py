@@ -149,10 +149,53 @@ def service_events_to_chrome(
     return events
 
 
+def physics_counter_events(
+    physics_samples, pid: int = 3,
+    pid_name: str = "physics (sim time)",
+) -> list[dict]:
+    """Chrome counter tracks (``"ph": "C"``) from physics samples.
+
+    Each diagnostic becomes a counter series plotted over *simulated*
+    seconds (scaled to microseconds), on its own ``pid`` like the
+    service's virtual clock so the axes don't interleave with live
+    spans.  Accepts :class:`repro.obs.physics.PhysicsSample` objects or
+    the plain dicts a ``physics.json`` round-trips.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": pid_name},
+        }
+    ]
+    for smp in physics_samples:
+        s = smp if isinstance(smp, dict) else smp.to_dict()
+        ts = s.get("time", 0.0) * 1e6
+        for name, value in (
+            ("physics:mass_drift", s.get("mass_drift", 0.0)),
+            ("physics:cfl_margin", s.get("cfl_margin", 0.0)),
+            ("physics:max_eta_m", s.get("max_eta", 0.0)),
+            ("physics:wet_cells", s.get("wet_cells", 0)),
+            ("physics:gauge_anomaly", s.get("gauge_anomaly", 0.0)),
+        ):
+            events.append(
+                {
+                    "name": name,
+                    "cat": "physics",
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
 def chrome_trace(
     tracer: Tracer | None = None,
     kernel_events=None,
     service_events=None,
+    physics_samples=None,
 ) -> dict:
     """The full Chrome trace document for a run.
 
@@ -176,15 +219,19 @@ def chrome_trace(
         events.extend(kernel_events_to_chrome(kernel_events))
     if service_events:
         events.extend(service_events_to_chrome(service_events))
+    if physics_samples:
+        events.extend(physics_counter_events(physics_samples))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(path, tracer: Tracer | None = None,
-                       kernel_events=None, service_events=None) -> Path:
+                       kernel_events=None, service_events=None,
+                       physics_samples=None) -> Path:
     """Atomically write a Chrome trace JSON file; returns its path."""
     path = Path(path)
     doc = chrome_trace(tracer, kernel_events=kernel_events,
-                       service_events=service_events)
+                       service_events=service_events,
+                       physics_samples=physics_samples)
     tmp = path.with_name(f".tmp-{path.name}")
     tmp.write_text(json.dumps(doc))
     os.replace(tmp, path)

@@ -298,6 +298,35 @@ def inspect_rundir(rundir, top_n: int = 10) -> str:
     return render_report(load_rundir(rundir), top_n)
 
 
+def inspect_physics(rundir) -> tuple[str, bool]:
+    """Render the physics health timeline from a run directory.
+
+    The ``repro inspect --physics`` view: loads ``physics.json``
+    (written by :func:`repro.resilience.forecast.run_resilient_forecast`
+    for a single run, or by the soak harness for a service run) and
+    renders the sample timeline plus sentinel events.  Returns
+    ``(text, ok)`` — *ok* is False when the overall verdict is
+    ``diverged`` so callers can gate on it.  Raises
+    :class:`~repro.errors.PersistError` when the run never sampled
+    physics.
+    """
+    from repro.obs.physics import (
+        PHYSICS_NAME,
+        load_physics_report,
+        render_physics_doc,
+    )
+
+    path = Path(rundir) / PHYSICS_NAME
+    if not path.exists():
+        raise PersistError(
+            f"no {PHYSICS_NAME} under {rundir}; physics sampling was off "
+            "for this run (it is produced by resilient forecasts and "
+            "soaks with verdict-carrying backends)"
+        )
+    lines, ok = render_physics_doc(load_physics_report(path))
+    return "\n".join(lines), ok
+
+
 def inspect_request(rundir, request_id: str) -> str:
     """Render one request's flight-recorder timeline from a run directory.
 

@@ -73,6 +73,8 @@ DEFAULT_SLOS: tuple[SLO, ...] = (
         "completions land inside their deadline", 0.95),
     SLO("freshness",
         "completions delivered at full fidelity", 0.90),
+    SLO("validity",
+        "completions carry a healthy physics verdict", 0.95),
 )
 
 #: Objectives for the deliberate-overload soak.  A sustained 3x burst
@@ -92,6 +94,11 @@ SOAK_SLOS: tuple[SLO, ...] = (
     SLO("freshness",
         "completions delivered at full fidelity (overload envelope)",
         0.40),
+    # Overload must not shake the science: shedding converts fidelity,
+    # never validity.  Only completions carrying a physics verdict feed
+    # this objective, so a soak without verdicts reports it undefined
+    # (no traffic) rather than burning.
+    DEFAULT_SLOS[3],
 )
 
 #: SRE-standard fast/slow multi-window pairs, in service seconds.
@@ -206,6 +213,15 @@ class SLOEngine:
         }
         self._total: dict[str, int] = {s.name: 0 for s in self.slos}
         self._good: dict[str, int] = {s.name: 0 for s in self.slos}
+
+    def knows(self, name: str) -> bool:
+        """Whether objective *name* is declared on this engine.
+
+        Conditional producers (e.g. the service's physics-validity
+        feed) probe this instead of letting :meth:`record` raise, so an
+        engine configured without the objective simply sees no events.
+        """
+        return name in self._by_name
 
     def record(self, name: str, t: float, good: bool) -> None:
         """One outcome for objective *name* at service time *t*."""

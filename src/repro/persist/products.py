@@ -117,12 +117,15 @@ class ProductStreamer:
     def sync_resume_point(self, model, eps: float = 1e-6) -> None:
         """Align the streams with a freshly restored (or fresh) model.
 
-        Truncates samples newer than the model's time, then regenerates
-        the restored step's own sample if the crash tore it away (a
-        signal can land between the product write and the snapshot
-        publish, or vice versa).
+        Truncates samples newer than the model's time, reloads the kept
+        rows into the in-memory recorder (so gauge max-eta and arrival
+        times span the whole run, not just the resumed tail), then
+        regenerates the restored step's own sample if the crash tore it
+        away (a signal can land between the product write and the
+        snapshot publish, or vice versa).
         """
         self.truncate_after(model.time, eps=eps)
+        self._reload_recorder()
         step = model.step_count
         if step == 0:
             return
@@ -136,6 +139,25 @@ class ProductStreamer:
         if self.eta_every and step % self.eta_every == 0:
             if not (self.eta_dir / f"eta_step_{step:08d}.npz").exists():
                 self._dump_eta(model)
+
+    def _reload_recorder(self) -> None:
+        """Rehydrate the recorder's series from the on-disk CSV."""
+        if not self.gauge_path.exists():
+            return
+        times: list[float] = []
+        rows: list[list[float]] = []
+        n = len(self.recorder.gauges)
+        for line in self.gauge_path.read_text().splitlines()[1:]:
+            parts = line.split(",")
+            if len(parts) != n + 1:
+                continue  # torn tail row
+            try:
+                times.append(float(parts[0]))
+                rows.append([float(v) for v in parts[1:]])
+            except ValueError:
+                times = times[: len(rows)]
+                continue
+        self.recorder.restore(times, rows)
 
     def _has_row_at(self, time_s: float, eps: float) -> bool:
         if not self.gauge_path.exists():

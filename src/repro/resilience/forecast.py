@@ -13,8 +13,15 @@ degraded) — it never hangs and never lets corruption through silently.
 from __future__ import annotations
 
 from repro.core.config import SimulationConfig
-from repro.core.model import RTiModel
+from repro.core.model import CompositeMonitor, RTiModel
 from repro.obs.log import get_logger
+from repro.obs.physics import (
+    PHYSICS_NAME,
+    DivergenceSentinel,
+    PhysicsSampler,
+    physics_doc,
+    write_physics_json,
+)
 from repro.resilience.checkpoint import CheckpointRing
 from repro.resilience.clock import SimulatedClock
 from repro.resilience.deadline import DeadlineSupervisor
@@ -46,6 +53,9 @@ def run_resilient_forecast(
     max_rollbacks: int = 6,
     store=None,
     spill_every: int = 1,
+    physics_every: int = 5,
+    physics_abort: bool = True,
+    gauge_recorder=None,
 ) -> ForecastReport:
     """Run a forecast that always produces a (possibly degraded) report.
 
@@ -57,6 +67,17 @@ def run_resilient_forecast(
     *store* (a :class:`repro.persist.RunStore`) makes the run durable:
     the checkpoint ring spills every *spill_every*-th snapshot to disk,
     and every recovery/degradation action is journaled write-ahead.
+
+    *physics_every* arms the in-situ physics sampler + divergence
+    sentinel (:mod:`repro.obs.physics`) on that step cadence (0 turns
+    it off).  The sentinel composes with the health monitor via
+    :class:`~repro.core.CompositeMonitor`; a ``diverged`` verdict (with
+    *physics_abort*) raises into the recovery engine, so a doomed run
+    rolls back / halves dt / degrades within a few samples instead of
+    burning the deadline budget to the NaN wall.  The report carries
+    ``physics_verdict``/``physics``, and with *store* given a
+    ``physics.json`` lands in the run directory.  *gauge_recorder*
+    optionally feeds station series into the sampler's anomaly scores.
     """
     config = config or SimulationConfig()
     model = RTiModel(grid, bathymetry, config)
@@ -71,9 +92,26 @@ def run_resilient_forecast(
             platform=str(platform),
             config=config.to_dict(),
         )
-    monitor = HealthMonitor(
+    health = HealthMonitor(
         every=health_every, eta_limit=eta_limit, mass_tol=mass_tol
     )
+    sentinel = None
+    monitor = health
+    if physics_every:
+        sampler = PhysicsSampler(
+            every=physics_every, recorder=gauge_recorder
+        )
+        sentinel = DivergenceSentinel(
+            sampler,
+            eta_limit=eta_limit,
+            abort=physics_abort,
+            on_event=(
+                (lambda ev: store.record_event("physics", **ev))
+                if store is not None
+                else None
+            ),
+        )
+        monitor = CompositeMonitor([health, sentinel])
     ring = CheckpointRing(
         capacity=checkpoint_capacity, store=store, spill_every=spill_every
     )
@@ -128,6 +166,10 @@ def run_resilient_forecast(
         ),
         checkpoints_taken=ring.taken,
         rollbacks=rollbacks,
+        physics_verdict=sentinel.worst if sentinel is not None else None,
+        # The full physics.json-shaped document (samples included), so
+        # callers can merge counter tracks into their trace export.
+        physics=physics_doc(sentinel=sentinel) if sentinel is not None else None,
     )
     report.model = final
     _LOG.info(
@@ -136,6 +178,7 @@ def run_resilient_forecast(
         achieved_s=round(final.time, 3),
         elapsed_s=round(clock.elapsed_s, 3),
         rollbacks=rollbacks,
+        physics_verdict=report.physics_verdict,
     )
     if store is not None:
         store.record_event(
@@ -146,5 +189,8 @@ def run_resilient_forecast(
             checkpoints_taken=ring.taken,
             checkpoints_spilled=ring.spilled,
             rollbacks=rollbacks,
+            physics_verdict=report.physics_verdict,
         )
+        if sentinel is not None:
+            write_physics_json(store.rundir / PHYSICS_NAME, report.physics)
     return report

@@ -34,6 +34,11 @@ class ForecastReport:
     faults_triggered: list[str] = field(default_factory=list)
     checkpoints_taken: int = 0
     rollbacks: int = 0
+    #: Worst sentinel verdict over the run ("healthy" | "suspect" |
+    #: "diverged"), or None when physics sampling was off.
+    physics_verdict: str | None = None
+    #: Sentinel summary (events, aborts, thresholds) when sampling ran.
+    physics: dict | None = None
 
     @property
     def complete(self) -> bool:
@@ -68,6 +73,12 @@ class ForecastReport:
             f"recovery        : {self.checkpoints_taken} checkpoints, "
             f"{self.rollbacks} rollbacks"
         )
+        if self.physics_verdict is not None:
+            aborts = (self.physics or {}).get("aborts", 0)
+            lines.append(
+                f"physics         : verdict {self.physics_verdict}"
+                + (f", {aborts} sentinel abort(s)" if aborts else "")
+            )
         if self.faults_triggered:
             lines.append("faults triggered:")
             lines.extend(f"  - {label}" for label in self.faults_triggered)

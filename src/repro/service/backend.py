@@ -45,6 +45,9 @@ class BackendResult:
     backend: str
     degradations: list = field(default_factory=list)
     report: object = None
+    #: Physics sentinel verdict of the producing run ("healthy" |
+    #: "suspect" | "diverged"); None when physics sampling was off.
+    physics_verdict: str | None = None
 
     @property
     def degraded(self) -> bool:
@@ -147,6 +150,7 @@ class LocalBackend:
             backend=self.name,
             degradations=list(report.degradations),
             report=report,
+            physics_verdict=report.physics_verdict,
         )
 
 
@@ -169,23 +173,54 @@ class SimulatedBackend:
         estimator: CostEstimator | None = None,
         noise: float = 0.1,
         fail_when=None,
+        diverge_fraction: float = 0.0,
+        abort_budget_frac: float = 0.25,
+        physics_verdicts: bool = True,
     ) -> None:
         if not 0 <= noise < 1:
             raise ServiceError(f"noise must be in [0, 1), got {noise}")
+        if not 0 <= diverge_fraction <= 1:
+            raise ServiceError(
+                f"diverge_fraction must be in [0, 1], got {diverge_fraction}"
+            )
+        if not 0 < abort_budget_frac <= 1:
+            raise ServiceError(
+                f"abort_budget_frac must be in (0, 1], got {abort_budget_frac}"
+            )
         self.name = name
         self.estimator = estimator or CostEstimator()
         self.noise = noise
         #: Optional ``callable(request) -> bool`` injecting failures.
         self.fail_when = fail_when
+        #: Deterministic per-scenario fraction of runs whose numerics
+        #: diverge; the simulated sentinel then aborts the run at
+        #: *abort_budget_frac* of its deadline budget and stamps the
+        #: result ``diverged`` — the priced analogue of the real
+        #: sentinel's abort-early protocol.
+        self.diverge_fraction = diverge_fraction
+        self.abort_budget_frac = abort_budget_frac
+        #: Attach physics verdicts to results (False = sampling off, as
+        #: for a backend that never ran the in-situ engine).
+        self.physics_verdicts = physics_verdicts
         self.runs = 0
         self.runs_by_key: dict[str, int] = {}
 
-    def _noise_factor(self, scenario: dict) -> float:
+    def _scenario_u(self, scenario: dict, salt: str = "") -> float:
         digest = hashlib.sha256(
-            canonical_scenario(scenario).encode("utf-8")
+            (canonical_scenario(scenario) + salt).encode("utf-8")
         ).digest()
-        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def _noise_factor(self, scenario: dict) -> float:
+        u = self._scenario_u(scenario)
         return 1.0 - self.noise + 2.0 * self.noise * u
+
+    def _diverges(self, scenario: dict) -> bool:
+        if not self.diverge_fraction:
+            return False
+        return self._scenario_u(scenario, salt="|diverge") < (
+            self.diverge_fraction
+        )
 
     def unloaded_payload(
         self, scenario: dict, fidelity: Fidelity = FULL_FIDELITY
@@ -255,10 +290,20 @@ class SimulatedBackend:
                         * factor
                     )
                     degradations = fidelity.actions()
+        verdict = "healthy" if self.physics_verdicts else None
+        if self._diverges(scenario):
+            # Simulated sentinel abort-early: the diverging run is cut
+            # well inside its deadline budget instead of burning it all
+            # the way to the NaN wall.
+            verdict = "diverged"
+            budget = budget_s if budget_s is not None else cost
+            cost = min(cost, self.abort_budget_frac * budget)
+            degradations = list(degradations) + ["abort_early"]
         return BackendResult(
             payload=self.unloaded_payload(scenario, fidelity),
             fidelity=fidelity,
             cost_s=cost,
             backend=self.name,
             degradations=degradations,
+            physics_verdict=verdict,
         )

@@ -337,6 +337,13 @@ class ForecastService:
             "freshness", now,
             bool(fidelity.is_full) if fidelity is not None else True,
         )
+        # Validity is conditioned on the run having carried a physics
+        # verdict at all: a backend without in-situ sampling contributes
+        # no events, so the objective reads "no traffic" instead of
+        # silently perfect (or silently burning).
+        verdict = getattr(result, "physics_verdict", None)
+        if verdict is not None and self.slo.knows("validity"):
+            self.slo.record("validity", now, verdict == "healthy")
 
     def _record_slo_loss(self, now: float) -> None:
         """One shed/failed admitted request: availability bad.  Latency
@@ -1026,17 +1033,33 @@ class ForecastService:
             f"latency={ticket.latency_s:.1f}s "
             f"deadline_met={ticket.deadline_met}",
         )
+        verdict = getattr(result, "physics_verdict", None)
+        if verdict is not None:
+            self._counter(
+                "repro_service_physics_verdicts_total",
+                "completions by physics sentinel verdict",
+                labels={"verdict": verdict},
+            ).inc()
+            if verdict != "healthy":
+                # Sentinel events are flight-recorder material: the
+                # recording explains *why* the forecast is suspect.
+                self._note(
+                    "physics_verdict", ticket.request.request_id, verdict
+                )
         self._record_slo_completion(ticket, result, now)
-        # A deadline breach is a bad ending: dump the recorder so
-        # `repro inspect --request` can explain the miss.
+        # A deadline breach — or a forecast the sentinel declared
+        # diverged — is a bad ending: dump the recorder so
+        # `repro inspect --request` can explain it.
         met = bool(ticket.deadline_met)
+        diverged = verdict == "diverged"
         self.flight.settle(
             ticket.request.request_id,
             outcome=(
                 f"completed at fidelity {result.fidelity.tag}"
                 + ("" if met else " — DEADLINE MISSED")
+                + ("" if not diverged else " — PHYSICS DIVERGED")
             ),
-            dump=not met,
+            dump=(not met) or diverged,
         )
 
     # -- the event loop --------------------------------------------------

@@ -68,6 +68,10 @@ class SoakConfig:
         default_factory=lambda: dict(DEFAULT_CLASS_WEIGHTS)
     )
     backend_noise: float = 0.1
+    #: Deterministic fraction of scenarios whose runs diverge; the
+    #: simulated sentinel aborts those early (see
+    #: :class:`~repro.service.backend.SimulatedBackend`).
+    diverge_fraction: float = 0.0
 
 
 def synthetic_scenarios(rng: random.Random, n: int) -> list[dict]:
@@ -132,6 +136,9 @@ class SoakReport:
     integrity_failures: list
     #: ``slo.json``-shaped SLO report when the soak ran with an engine.
     slo: dict | None = None
+    #: Completions by physics verdict (empty when the backend attaches
+    #: no verdicts).
+    physics_verdicts: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -170,6 +177,11 @@ class SoakReport:
             f"  deadline misses: {len(self.deadline_misses)}"
             + (f" {self.deadline_misses}" if self.deadline_misses else ""),
         ]
+        if self.physics_verdicts:
+            per = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.physics_verdicts.items())
+            )
+            lines.append(f"  physics verdicts: {per}")
         if self.integrity_failures:
             lines.append(
                 f"  INTEGRITY FAILURES: {self.integrity_failures}"
@@ -217,7 +229,10 @@ def run_soak(
     config = config or SoakConfig()
     rng = random.Random(config.seed)
     if backend is None:
-        backend = SimulatedBackend(noise=config.backend_noise)
+        backend = SimulatedBackend(
+            noise=config.backend_noise,
+            diverge_fraction=config.diverge_fraction,
+        )
     if service is None:
         if slo is None:
             from repro.obs.slo import SOAK_SLOS, SLOEngine
@@ -285,6 +300,8 @@ def run_soak(
     latencies: list[float] = []
     misses: list[str] = []
     shed_by_class: dict[str, int] = {}
+    verdict_counts: dict[str, int] = {}
+    verdict_requests: list[dict] = []
     degraded = 0
     completed = 0
     unloaded = getattr(backend, "unloaded_payload", None)
@@ -295,6 +312,17 @@ def run_soak(
         if ticket.status not in (DONE_OK, "cached"):
             continue
         completed += 1
+        verdict = getattr(ticket.result, "physics_verdict", None)
+        if verdict is not None:
+            verdict_counts[verdict] = verdict_counts.get(verdict, 0) + 1
+            verdict_requests.append(
+                {
+                    "request_id": ticket.request.request_id,
+                    "verdict": verdict,
+                    "cost_s": getattr(ticket.result, "cost_s", None),
+                    "deadline_s": ticket.request.deadline_s,
+                }
+            )
         if ticket.latency_s is not None:
             latencies.append(ticket.latency_s)
         if ticket.deadline_met is False:
@@ -338,6 +366,7 @@ def run_soak(
         calibration=estimator.calibration,
         final_time_s=final_time,
         integrity_failures=integrity,
+        physics_verdicts=verdict_counts,
     )
     reg = get_registry()
     reg.gauge(
@@ -367,4 +396,26 @@ def run_soak(
             rundir / "trace.json", service_events=list(service.events)
         )
         reg.write_json(rundir / "metrics.json")
+        if verdict_counts:
+            from repro.obs.physics import (
+                DIVERGED,
+                HEALTHY,
+                PHYSICS_NAME,
+                physics_doc,
+                write_physics_json,
+            )
+
+            overall = HEALTHY
+            if any(v != HEALTHY for v in verdict_counts):
+                overall = (
+                    DIVERGED if verdict_counts.get(DIVERGED) else "suspect"
+                )
+            write_physics_json(
+                rundir / PHYSICS_NAME,
+                physics_doc(
+                    verdict=overall,
+                    counts=verdict_counts,
+                    requests=verdict_requests,
+                ),
+            )
     return report

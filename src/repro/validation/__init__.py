@@ -16,7 +16,9 @@ from repro.validation.analytic import (
 )
 from repro.validation.conservation import (
     mass_conservation_drift,
+    mass_residual,
     lake_at_rest_deviation,
+    lake_at_rest_residual,
 )
 
 __all__ = [
@@ -25,5 +27,7 @@ __all__ = [
     "standing_wave_solution",
     "single_block_model",
     "mass_conservation_drift",
+    "mass_residual",
     "lake_at_rest_deviation",
+    "lake_at_rest_residual",
 ]

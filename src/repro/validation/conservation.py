@@ -1,4 +1,17 @@
-"""Conservation and well-balancedness checkers."""
+"""Conservation and well-balancedness checkers.
+
+Two layers live here:
+
+* **Non-mutating residuals** (:func:`mass_residual`,
+  :func:`lake_at_rest_residual`) — pure reads of the model's current
+  state, safe to call from an ``after_step`` monitor every step.  The
+  in-situ physics sampler (:mod:`repro.obs.physics`) is built on these.
+* **Run-consuming checkers** (:func:`mass_conservation_drift`,
+  :func:`lake_at_rest_deviation`) — the original offline helpers, kept
+  for their call signatures.  They *advance the model* by ``n_steps``
+  and then evaluate the residual; the mutation is now explicit in the
+  docstrings instead of a surprise.
+"""
 
 from __future__ import annotations
 
@@ -7,28 +20,24 @@ import numpy as np
 from repro.core.model import RTiModel
 
 
-def mass_conservation_drift(model: RTiModel, n_steps: int) -> float:
-    """Relative change of total volume after *n_steps* steps.
+def mass_residual(model: RTiModel, v0: float) -> float:
+    """Relative total-volume drift against baseline *v0*, without stepping.
 
-    Only meaningful with wall boundaries (closed basin); the wet/dry clamp
-    introduces a small non-conservation at moving shorelines, which this
-    diagnostic quantifies.
+    Pure read: safe to call mid-run from a monitor.  Returns 0.0 for a
+    dry basin (``v0 <= 0``) so per-step samplers need no special case.
     """
-    v0 = model.total_volume()
     if v0 <= 0:
-        raise ValueError("model has no water")
-    model.run(n_steps)
+        return 0.0
     return (model.total_volume() - v0) / v0
 
 
-def lake_at_rest_deviation(model: RTiModel, n_steps: int) -> float:
-    """Max |eta| and |flux| after integrating an initially-at-rest state.
+def lake_at_rest_residual(model: RTiModel) -> float:
+    """Max |eta| over wet cells plus max |flux|, without stepping.
 
-    A well-balanced scheme must keep still water exactly still over any
-    bathymetry.  Returns the max absolute water-level deviation over wet
-    cells plus the max absolute flux.
+    A well-balanced scheme keeps still water exactly still over any
+    bathymetry; this measures how far the *current* state deviates.
+    Pure read: safe to call mid-run from a monitor.
     """
-    model.run(n_steps)
     worst = 0.0
     for st in model.states.values():
         wet = st.total_depth() > model.config.dry_threshold
@@ -37,3 +46,29 @@ def lake_at_rest_deviation(model: RTiModel, n_steps: int) -> float:
         worst = max(worst, float(np.abs(st.m_old).max()))
         worst = max(worst, float(np.abs(st.n_old).max()))
     return worst
+
+
+def mass_conservation_drift(model: RTiModel, n_steps: int) -> float:
+    """Relative change of total volume after *n_steps* steps.
+
+    **Mutates the model**: advances it by ``n_steps`` and evaluates
+    :func:`mass_residual` against the starting volume.  Only meaningful
+    with wall boundaries (closed basin); the wet/dry clamp introduces a
+    small non-conservation at moving shorelines, which this diagnostic
+    quantifies.
+    """
+    v0 = model.total_volume()
+    if v0 <= 0:
+        raise ValueError("model has no water")
+    model.run(n_steps)
+    return mass_residual(model, v0)
+
+
+def lake_at_rest_deviation(model: RTiModel, n_steps: int) -> float:
+    """Max |eta| and |flux| after integrating an initially-at-rest state.
+
+    **Mutates the model**: advances it by ``n_steps`` and evaluates
+    :func:`lake_at_rest_residual` on the final state.
+    """
+    model.run(n_steps)
+    return lake_at_rest_residual(model)
