@@ -218,6 +218,7 @@ def _cmd_forecast(args) -> int:
         args.deadline is not None
         or args.faults is not None
         or args.fault_seed is not None
+        or args.integrity_every is not None
     )
     if args.rundir is not None and not resilient:
         from repro.errors import PersistError, ValidationError
@@ -258,8 +259,13 @@ def _cmd_forecast(args) -> int:
             plan = FaultPlan.from_file(args.faults)
         elif args.fault_seed is not None:
             n_blocks = sum(len(lv.blocks) for lv in mk.grid.levels)
+            # With the integrity layer armed, seeded plans may also flip
+            # bits — the layer exists to catch exactly those.
+            kinds = ("nan", "straggler")
+            if args.integrity_every is not None:
+                kinds = kinds + ("bitflip",)
             plan = FaultPlan.random(
-                args.fault_seed, kinds=("nan", "straggler"),
+                args.fault_seed, kinds=kinds,
                 n_faults=args.fault_count, n_ranks=1,
                 n_steps=max(steps, 1), n_blocks=n_blocks,
             )
@@ -268,6 +274,10 @@ def _cmd_forecast(args) -> int:
             from repro.persist import RunStore
 
             store = RunStore(args.rundir)
+        integrity_every = args.integrity_every or 0
+        scrub_every = args.scrub_every or (
+            integrity_every * 4 if integrity_every else 0
+        )
         print(f"Integrating {steps} steps ({args.minutes} simulated "
               f"minutes) with resilience enabled...")
         report = run_resilient_forecast(
@@ -275,6 +285,7 @@ def _cmd_forecast(args) -> int:
             config=SimulationConfig(dt=mk.dt), source=source,
             horizon_s=args.minutes * 60, deadline_s=args.deadline,
             fault_plan=plan, store=store,
+            integrity_every=integrity_every, scrub_every=scrub_every,
         )
         print(report.summary())
         _print_products(report.model, mk.grid)
@@ -463,6 +474,24 @@ EXIT_NO_FLIGHT = 5
 EXIT_NO_PHYSICS = 6
 #: The run's physics verdict is ``diverged`` (gate failure, not an error).
 EXIT_PHYSICS_DIVERGED = 7
+#: The run's integrity verdict is ``corrupted`` — detected but
+#: uncorrected data corruption (gate failure, not an error).
+EXIT_INTEGRITY_CORRUPTED = 8
+#: ``--integrity`` with no integrity.json shares the artifact-missing
+#: class with ``--physics``: the producing layer was off for this run.
+EXIT_NO_INTEGRITY = EXIT_NO_PHYSICS
+
+#: The table `repro inspect --help` and the README publish.
+INSPECT_EXIT_CODES = """\
+exit codes:
+  0  report rendered (and any gated verdict is acceptable)
+  3  run directory missing or unreadable
+  4  no spans recorded (re-run with --export-trace)
+  5  no flight recording for --request ID
+  6  requested artifact absent (physics.json / integrity.json layer off)
+  7  physics verdict is diverged (--physics gate)
+  8  integrity verdict is corrupted (--integrity gate)
+"""
 
 
 def _structured_error(code: str, exit_code: int, detail: str,
@@ -508,6 +537,21 @@ def _cmd_inspect(args) -> int:
             return EXIT_NO_PHYSICS
         print(text)
         return 0 if ok else EXIT_PHYSICS_DIVERGED
+    if args.integrity:
+        from repro.obs import inspect_integrity
+
+        try:
+            text, ok = inspect_integrity(args.rundir)
+        except PersistError as exc:
+            _structured_error(
+                "no-integrity", EXIT_NO_INTEGRITY, str(exc),
+                hint="integrity.json is written by `repro forecast "
+                     "--integrity-every N --rundir DIR` and by soaks "
+                     "run with --corrupt-fraction",
+            )
+            return EXIT_NO_INTEGRITY
+        print(text)
+        return 0 if ok else EXIT_INTEGRITY_CORRUPTED
     try:
         art = load_rundir(args.rundir)
     except PersistError as exc:
@@ -661,12 +705,13 @@ def _cmd_serve(args) -> int:
             workers=args.workers,
             queue_capacity=args.queue_capacity,
             diverge_fraction=args.diverge_fraction,
+            corrupt_fraction=args.corrupt_fraction,
         ), rundir=args.rundir)
         print(report.summary())
         if args.rundir:
             print(f"wrote soak artifacts (slo.json, trace.json, "
-                  f"metrics.json, physics.json, flight/) under "
-                  f"{args.rundir}")
+                  f"metrics.json, physics.json, integrity.json, flight/) "
+                  f"under {args.rundir}")
         if args.export_metrics:
             get_registry().write_json(args.export_metrics)
             print(f"wrote metrics snapshot: {args.export_metrics}")
@@ -846,6 +891,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "of reading one from --faults")
     p_fc.add_argument("--fault-count", type=int, default=3,
                       help="number of faults for --fault-seed plans")
+    p_fc.add_argument("--integrity-every", type=_positive_int, default=None,
+                      metavar="STEPS",
+                      help="arm the ABFT integrity layer (state checksums, "
+                           "checkpoint digests, quarantine rollback) on "
+                           "this step cadence; writes integrity.json with "
+                           "--rundir")
+    p_fc.add_argument("--scrub-every", type=_positive_int, default=None,
+                      metavar="STEPS",
+                      help="checkpoint-ring scrub cadence (default: the "
+                           "integrity cadence x 4; needs --integrity-every)")
     p_fc.add_argument("--rundir", default=None, metavar="DIR",
                       help="persist the run (journal, checkpoints, "
                            "streamed products) into DIR; enables "
@@ -918,6 +973,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_in = sub.add_parser(
         "inspect",
         help="summarize a run directory from its telemetry artifacts",
+        epilog=INSPECT_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p_in.add_argument("rundir", help="run directory to inspect")
     p_in.add_argument("--top", type=int, default=10, metavar="N",
@@ -929,6 +986,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="render the physics health timeline "
                            "(physics.json) instead of the aggregate "
                            "report; exits non-zero on a diverged verdict")
+    p_in.add_argument("--integrity", action="store_true",
+                      help="render the ABFT integrity ledger "
+                           "(integrity.json) instead of the aggregate "
+                           "report; exits 8 on a corrupted verdict")
 
     p_sl = sub.add_parser(
         "slo",
@@ -1072,6 +1133,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "scenarios whose runs diverge; the simulated "
                            "sentinel aborts them early and stamps the "
                            "verdict (default: 0)")
+    p_se.add_argument("--corrupt-fraction", type=float, default=0.0,
+                      metavar="F",
+                      help="(soak only) deterministic fraction of runs "
+                           "hit by a simulated bit flip; most are caught "
+                           "and corrected, the rest complete with an "
+                           "explicit corrupted verdict (default: 0)")
     p_se.add_argument("--export-metrics", default=None, metavar="PATH",
                       help="write a metrics.json snapshot (shed/latency/"
                            "queue-depth series) after serving")

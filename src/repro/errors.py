@@ -128,6 +128,42 @@ class NumericalError(ReproError):
     """
 
 
+class IntegrityError(NumericalError):
+    """Silent data corruption was detected by an integrity check.
+
+    Raised by the ABFT layer (:mod:`repro.resilience.integrity`) when a
+    block checksum, message CRC, or checkpoint digest fails to verify:
+    the state is *bitwise* wrong even though every value may still be
+    finite and physically plausible — the corruption class the health
+    monitor and divergence sentinel cannot see.  Subclasses
+    :class:`NumericalError` so the recovery engine's rollback machinery
+    treats a corruption verdict like any other unusable-state signal.
+
+    Attributes
+    ----------
+    surface:
+        Where the corruption was caught: ``"state"``, ``"halo"`` or
+        ``"checkpoint"``.
+    blocks:
+        Block ids implicated by the failing checksums (the quarantine
+        blast radius), when known.
+    step:
+        Model step at which the check fired, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        surface: str | None = None,
+        blocks: list | None = None,
+        step: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.surface = surface
+        self.blocks = list(blocks) if blocks else []
+        self.step = step
+
+
 class DeadlineError(ReproError):
     """The operational deadline cannot be met or is invalid.
 

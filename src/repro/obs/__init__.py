@@ -73,6 +73,7 @@ from repro.obs.flight import (
 from repro.obs.inspect import (
     breakdowns_from_spans,
     imbalance_ratio,
+    inspect_integrity,
     inspect_physics,
     inspect_request,
     inspect_rundir,
@@ -173,6 +174,7 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "imbalance_ratio",
+    "inspect_integrity",
     "inspect_physics",
     "inspect_request",
     "inspect_rundir",

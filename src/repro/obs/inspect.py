@@ -327,6 +327,35 @@ def inspect_physics(rundir) -> tuple[str, bool]:
     return "\n".join(lines), ok
 
 
+def inspect_integrity(rundir) -> tuple[str, bool]:
+    """Render the ABFT integrity ledger from a run directory.
+
+    The ``repro inspect --integrity`` view: loads ``integrity.json``
+    (written by :func:`repro.resilience.forecast.run_resilient_forecast`
+    for a single run, or by the soak harness for a service run) and
+    renders the detection/correction ledger.  Returns ``(text, ok)`` —
+    *ok* is False exactly when the verdict is ``corrupted``
+    (detected-but-uncorrected corruption, the exit-8 condition).
+    Raises :class:`~repro.errors.PersistError` when the run never armed
+    the integrity layer.
+    """
+    from repro.resilience.integrity import (
+        INTEGRITY_NAME,
+        load_integrity_report,
+        render_integrity_doc,
+    )
+
+    path = Path(rundir) / INTEGRITY_NAME
+    if not path.exists():
+        raise PersistError(
+            f"no {INTEGRITY_NAME} under {rundir}; the integrity layer was "
+            "off for this run (arm it with `repro forecast "
+            "--integrity-every N` or a corrupt-fraction soak)"
+        )
+    lines, ok = render_integrity_doc(load_integrity_report(path))
+    return "\n".join(lines), ok
+
+
 def inspect_request(rundir, request_id: str) -> str:
     """Render one request's flight-recorder timeline from a run directory.
 

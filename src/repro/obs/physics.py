@@ -624,6 +624,8 @@ def physics_doc(
 
 def write_physics_json(path, doc: dict) -> Path:
     """Atomically write a physics document (same idiom as every export)."""
+    from repro.persist.snapshot import fsync_dir
+
     path = Path(path)
     tmp = path.with_name(f".tmp-{path.name}")
     try:
@@ -633,6 +635,7 @@ def write_physics_json(path, doc: dict) -> Path:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     except OSError as exc:
         tmp.unlink(missing_ok=True)
         raise PersistError(f"cannot write physics report {path}: {exc}") from exc

@@ -75,6 +75,13 @@ DEFAULT_SLOS: tuple[SLO, ...] = (
         "completions delivered at full fidelity", 0.90),
     SLO("validity",
         "completions carry a healthy physics verdict", 0.95),
+    # The silent-data-corruption promise: a completion may be CLEAN or
+    # CORRECTED, never CORRUPTED.  Only completions that carry an
+    # integrity verdict feed this objective (``knows()`` + conditional
+    # record), so a deployment with the ABFT layer off reports it
+    # undefined — zero traffic, no burn — rather than vacuously green.
+    SLO("integrity",
+        "completions carry a clean-or-corrected integrity verdict", 0.95),
 )
 
 #: Objectives for the deliberate-overload soak.  A sustained 3x burst
@@ -99,6 +106,9 @@ SOAK_SLOS: tuple[SLO, ...] = (
     # this objective, so a soak without verdicts reports it undefined
     # (no traffic) rather than burning.
     DEFAULT_SLOS[3],
+    # Same story for integrity: load never excuses a silent wrong
+    # answer, so the overload envelope keeps the operational target.
+    DEFAULT_SLOS[4],
 )
 
 #: SRE-standard fast/slow multi-window pairs, in service seconds.
@@ -344,12 +354,18 @@ class SLOEngine:
         return report
 
     def write_json(self, path, now: float) -> Path:
-        """Atomically write the ``slo.json`` report."""
+        """Atomically write the ``slo.json`` report (fsync file + dir)."""
+        from repro.persist.snapshot import fsync_dir
+
         path = Path(path)
         doc = self.evaluate(now).to_dict()
         tmp = path.with_name(f".tmp-{path.name}")
-        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
         return path
 
 

@@ -206,6 +206,12 @@ class Communicator:
     timeout:
         Default timeout [s] for blocking operations (``recv``,
         ``Request.wait``, ``barrier_sync``); ``None`` waits forever.
+    integrity:
+        Optional :class:`repro.resilience.integrity.MessageIntegrity`
+        policy shared by the whole world.  When set, every ndarray
+        payload is CRC-framed on send and verified on receive; a CRC
+        mismatch is corrected from the sender's retransmit stash (the
+        NACK path) or raises :class:`~repro.errors.IntegrityError`.
     """
 
     def __init__(
@@ -213,11 +219,13 @@ class Communicator:
         world: _World,
         rank: int,
         timeout: float | None = DEFAULT_TIMEOUT,
+        integrity=None,
     ) -> None:
         self._world = world
         self.rank = rank
         self.size = world.size
         self.timeout = timeout
+        self.integrity = integrity
         # Out-of-order receives are stashed here until matched.
         self._stash: list[tuple[int, int, Any]] = []
         # Outstanding nonblocking requests (for timeout diagnostics).
@@ -237,11 +245,23 @@ class Communicator:
             raise CommunicationError(f"bad destination rank {dest}")
         if isinstance(obj, np.ndarray):
             payload = obj.copy()
+            if self.integrity is not None:
+                payload = self.integrity.wrap(self.rank, dest, tag, payload)
             if _TRACER.enabled:
                 _sent_bytes(obj.nbytes)
         else:
             payload = obj
         self._world.mailboxes[dest].put((self.rank, tag, payload))
+
+    def _maybe_unwrap(self, src: int, tag: int, payload: Any) -> Any:
+        """Verify and strip a CRC frame on the receive side."""
+        if self.integrity is None:
+            return payload
+        from repro.resilience.integrity import CrcFrame
+
+        if isinstance(payload, CrcFrame):
+            return self.integrity.unwrap(self.rank, src, tag, payload)
+        return payload
 
     def recv(
         self,
@@ -261,7 +281,7 @@ class Communicator:
         for idx, (src, tg, payload) in enumerate(self._stash):
             if (source in (ANY_SOURCE, src)) and tg == tag:
                 self._stash.pop(idx)
-                return payload
+                return self._maybe_unwrap(src, tg, payload)
         while True:
             try:
                 src, tg, payload = self._world.mailboxes[self.rank].get(
@@ -297,7 +317,7 @@ class Communicator:
                     f"waiting in recv(source={source}, tag={tag})"
                 )
             if (source in (ANY_SOURCE, src)) and tg == tag:
-                return payload
+                return self._maybe_unwrap(src, tg, payload)
             self._stash.append((src, tg, payload))
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -442,6 +462,7 @@ def run_ranks(
     comm_timeout: float | None = DEFAULT_TIMEOUT,
     comm_wrap: Callable[[Communicator], Any] | None = None,
     return_errors: bool = False,
+    integrity=None,
 ) -> list[Any] | tuple[list[Any], list[tuple[int, BaseException]]]:
     """Execute *fn(comm)* on *n_ranks* threads; return per-rank results.
 
@@ -455,6 +476,10 @@ def run_ranks(
         Optional decorator applied to each rank's communicator before it
         is handed to *fn* — the hook the resilience layer uses to splice
         fault injection into the transport.
+    integrity:
+        Optional shared :class:`repro.resilience.integrity.MessageIntegrity`
+        policy handed to every rank's communicator (CRC framing +
+        NACK/retransmit on ndarray payloads).
     return_errors:
         When true, rank failures are *returned* instead of re-raised:
         the call yields ``(results, errors)`` where *errors* is the list
@@ -484,7 +509,9 @@ def run_ranks(
     def _runner(rank: int) -> None:
         if trace_ctx is not None:
             tracer.set_context(trace=trace_ctx)
-        comm = Communicator(world, rank, timeout=comm_timeout)
+        comm = Communicator(
+            world, rank, timeout=comm_timeout, integrity=integrity
+        )
         if comm_wrap is not None:
             comm = comm_wrap(comm)
         try:

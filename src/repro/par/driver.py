@@ -46,7 +46,12 @@ from repro.obs.trace import get_tracer
 from repro.obs.trace import span as _span
 from repro.par.comm import Communicator, run_ranks
 from repro.par.decomposition import Decomposition
-from repro.xchg.packing import pack_boundary_offsets, unpack_boundary_offsets
+from repro.xchg.packing import (
+    frame_payload,
+    pack_boundary_offsets,
+    unframe_payload,
+    unpack_boundary_offsets,
+)
 from repro.xchg.specs import seam_copy_specs
 
 # Tag bases per phase (specs/pairs are enumerated deterministically).
@@ -124,12 +129,17 @@ class _RankRuntime:
         bathymetry,
         cfg: SimulationConfig,
         topo: _Topology,
+        frame_halos: bool = False,
     ) -> None:
         self.comm = comm
         self.grid = grid
         self.cfg = cfg
         self.topo = topo
         self.bathymetry = bathymetry
+        # With frame_halos, packed seam buffers carry a CRC-32 trailer
+        # verified before unpacking (the xchg-level ABFT check, on top
+        # of any transport-level MessageIntegrity policy).
+        self.frame_halos = frame_halos
         # Rank-local, mutable ownership view.  It starts as a copy of the
         # static plan; the survivable runtime retargets entries when it
         # migrates blocks (straggler hedging), identically on every rank,
@@ -235,12 +245,16 @@ class _RankRuntime:
                 arr = self._field(self.states[spec.src_block], spec.field)
                 with _span("halo_pack", cat="comm", field=spec.field):
                     buf = pack_boundary_offsets([arr], spec.src)
+                    if self.frame_halos:
+                        buf = frame_payload(buf)
                 self.comm.send(buf, dest=dst_rank, tag=tag_base + tag)
             elif dst_rank == self.comm.rank:
                 with _span("halo_recv", cat="comm", field=spec.field):
                     buf = self.comm.recv(source=src_rank, tag=tag_base + tag)
                 dst = self._field(self.states[spec.dst_block], spec.field)
                 with _span("halo_unpack", cat="comm", field=spec.field):
+                    if self.frame_halos:
+                        buf = unframe_payload(buf)
                     unpack_boundary_offsets(buf, [dst], spec.dst)
 
     def _jnz(self) -> None:
@@ -380,6 +394,7 @@ def run_distributed(
     comm_timeout: float = 30.0,
     fault_plan=None,
     store=None,
+    integrity=None,
 ) -> dict[int, np.ndarray]:
     """Run the pipeline on ``decomp.n_ranks`` simulated MPI ranks.
 
@@ -399,6 +414,12 @@ def run_distributed(
     journaled write-ahead (SIGTERM/SIGINT are caught while the ranks
     run), and the gathered final water level is published atomically
     into the store's products directory.
+
+    *integrity* (a :class:`repro.resilience.integrity.MessageIntegrity`)
+    arms the ABFT transport checks: packed halo buffers gain an
+    xchg-level CRC trailer and every ndarray payload is CRC-framed at
+    the transport with a NACK/retransmit correction path.  Detections
+    and corrections land in the policy's shared tracker.
     """
     from repro.fault.scenarios import initial_eta_for_block
 
@@ -414,7 +435,10 @@ def run_distributed(
         # Each rank is a thread: bind the rank id to this thread's spans
         # so trace tracks and the imbalance summary separate per rank.
         get_tracer().set_context(rank=comm.rank)
-        rt = _RankRuntime(comm, grid, decomp, bathymetry, config, topo)
+        rt = _RankRuntime(
+            comm, grid, decomp, bathymetry, config, topo,
+            frame_halos=integrity is not None,
+        )
         if source is not None:
             for bid, st in rt.states.items():
                 lvl = grid.level(st.block.level)
@@ -457,6 +481,7 @@ def run_distributed(
             timeout=timeout,
             comm_timeout=comm_timeout,
             comm_wrap=comm_wrap,
+            integrity=integrity,
         )
     merged: dict[int, np.ndarray] = {}
     for part in results:
@@ -471,6 +496,7 @@ def _publish_distributed_eta(store, eta_by_block, n_steps: int) -> None:
     import os
 
     from repro.errors import PersistError
+    from repro.persist.snapshot import fsync_dir
 
     final = store.products_dir / f"distributed_eta_step_{n_steps:08d}.npz"
     tmp = final.with_name(f".tmp-{final.name}")
@@ -482,6 +508,7 @@ def _publish_distributed_eta(store, eta_by_block, n_steps: int) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, final)
+        fsync_dir(final.parent)
     except OSError as exc:
         tmp.unlink(missing_ok=True)
         raise PersistError(

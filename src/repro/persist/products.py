@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import PersistError
 from repro.core.gauges import GaugeRecorder
+from repro.persist.snapshot import fsync_dir
 
 GAUGE_FILE = "gauges.csv"
 ETA_DIR = "eta"
@@ -108,6 +109,7 @@ class ProductStreamer:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, final)
+            fsync_dir(self.eta_dir)
         except OSError as exc:
             tmp.unlink(missing_ok=True)
             raise PersistError(f"cannot write eta dump {final}: {exc}") from exc
@@ -193,6 +195,7 @@ class ProductStreamer:
             tmp = self.gauge_path.with_name(f".tmp-{GAUGE_FILE}")
             tmp.write_text("\n".join(kept) + "\n")
             os.replace(tmp, self.gauge_path)
+            fsync_dir(self.gauge_path.parent)
         if self.eta_dir.is_dir():
             for path in sorted(self.eta_dir.glob("eta_step_*.npz")):
                 try:

@@ -75,7 +75,18 @@ def grid_fingerprint(grid, dtype=None) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
-def _fsync_dir(path: Path) -> None:
+def fsync_dir(path: Path) -> None:
+    """Fsync a directory so a just-published rename survives power loss.
+
+    ``os.replace`` makes a publication atomic with respect to *crashes of
+    the process*, but the new directory entry itself lives in the parent
+    directory's data — until that is flushed, a power cut can roll the
+    rename back (or worse, leave the entry pointing at an unflushed
+    inode).  Every atomic-publish site in the tree therefore follows its
+    rename with ``fsync_dir(dest.parent)``.  Platforms that cannot open
+    directories read-only (no directory fds) skip the flush: rename
+    ordering is all they can offer.
+    """
     try:
         fd = os.open(path, os.O_RDONLY)
     except OSError:
@@ -84,6 +95,10 @@ def _fsync_dir(path: Path) -> None:
         os.fsync(fd)
     finally:
         os.close(fd)
+
+
+#: Backwards-compatible private alias (public name: :func:`fsync_dir`).
+_fsync_dir = fsync_dir
 
 
 def write_arrays(path: Path, arrays: dict[str, np.ndarray]) -> dict[str, str]:
@@ -108,11 +123,19 @@ def read_arrays(
     file, a missing key, or any checksum mismatch.
     """
     import zipfile
+    import zlib
 
     try:
         with np.load(path) as npz:
             out = {key: npz[key] for key in npz.files}
-    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        EOFError,
+        zipfile.BadZipFile,
+        zlib.error,
+    ) as exc:
         raise PersistError(f"cannot read snapshot arrays from {path}: {exc}") from exc
     if digests is not None:
         missing = set(digests) - set(out)
@@ -219,9 +242,9 @@ def write_snapshot(model, dest: Path, *, extra: dict | None = None) -> Path:
             json.dump(manifest, fh, indent=1, sort_keys=True)
             fh.flush()
             os.fsync(fh.fileno())
-        _fsync_dir(tmp)
+        fsync_dir(tmp)
         os.replace(tmp, dest)
-        _fsync_dir(dest.parent)
+        fsync_dir(dest.parent)
     except PersistError:
         shutil.rmtree(tmp, ignore_errors=True)
         raise

@@ -22,7 +22,15 @@ failure.  It provides:
 * :func:`survivable_run_distributed` — in-flight rank-failure survival:
   ULFM-style revoke/agree, diskless neighbor checkpoints, shrinking
   recovery or spare-rank respawn, and MAD-based straggler hedging
-  (:mod:`repro.resilience.survive`).
+  (:mod:`repro.resilience.survive`);
+* :mod:`repro.resilience.integrity` — the ABFT silent-data-corruption
+  defense: block checksums through the leap-frog window
+  (:class:`IntegrityMonitor`), CRC-framed halo payloads with seeded
+  NACK/retransmit (:class:`MessageIntegrity`), checkpoint digest
+  scrubbing with neighbor repair (:class:`CheckpointScrubber`), and the
+  shared :class:`IntegrityTracker` ledger whose
+  clean/corrected/corrupted verdict rides every
+  :class:`ForecastReport`.
 """
 
 from repro.resilience.checkpoint import Checkpoint, CheckpointRing
@@ -39,8 +47,23 @@ from repro.resilience.inject import (
     FaultyComm,
     RankCrashError,
     corrupt_state,
+    flip_bit,
     maybe_crash_at_step,
     nonfinite_blocks,
+)
+from repro.resilience.integrity import (
+    CLEAN,
+    CORRECTED,
+    CORRUPTED,
+    INTEGRITY_VERDICTS,
+    CheckpointScrubber,
+    IntegrityMonitor,
+    IntegrityTracker,
+    MessageIntegrity,
+    integrity_doc,
+    load_integrity_report,
+    render_integrity_doc,
+    write_integrity_json,
 )
 from repro.resilience.recovery import (
     RecoveryEngine,
@@ -60,6 +83,19 @@ from repro.resilience.survive import (
 )
 
 __all__ = [
+    "CLEAN",
+    "CORRECTED",
+    "CORRUPTED",
+    "INTEGRITY_VERDICTS",
+    "CheckpointScrubber",
+    "IntegrityMonitor",
+    "IntegrityTracker",
+    "MessageIntegrity",
+    "flip_bit",
+    "integrity_doc",
+    "load_integrity_report",
+    "render_integrity_doc",
+    "write_integrity_json",
     "FAULT_KINDS",
     "DEGRADATION_ORDER",
     "FaultPlan",

@@ -36,6 +36,10 @@ class Checkpoint:
     states: dict
     #: block_id -> (zmax, vmax, inundation_max, arrival_time)
     outputs: dict
+    #: block_id -> {"crc": (c0..c5), "sum": (s0..s5)} ABFT digests of the
+    #: state buffers, present when the ring runs with checksums enabled.
+    #: The scrubber and a verified rollback re-check arrays against these.
+    checksums: dict | None = None
 
     @property
     def nbytes(self) -> int:
@@ -59,7 +63,11 @@ class CheckpointRing:
     """
 
     def __init__(
-        self, capacity: int = 4, store=None, spill_every: int = 1
+        self,
+        capacity: int = 4,
+        store=None,
+        spill_every: int = 1,
+        checksums: bool = False,
     ) -> None:
         if capacity < 1:
             raise ReproError("checkpoint ring capacity must be >= 1")
@@ -68,6 +76,7 @@ class CheckpointRing:
         self._ring: deque[Checkpoint] = deque(maxlen=capacity)
         self.store = store
         self.spill_every = spill_every
+        self.checksums = checksums
         self.taken = 0
         self.restored = 0
         self.spilled = 0
@@ -78,6 +87,30 @@ class CheckpointRing:
     @property
     def latest(self) -> Checkpoint | None:
         return self._ring[-1] if self._ring else None
+
+    def entries(self) -> list[Checkpoint]:
+        """All held snapshots, oldest first (for the scrubber)."""
+        return list(self._ring)
+
+    def discard(self, ckpt: Checkpoint) -> bool:
+        """Evict one snapshot (a scrub verdict said it is corrupt)."""
+        try:
+            self._ring.remove(ckpt)
+        except ValueError:
+            return False
+        return True
+
+    def replace(self, old: Checkpoint, new: Checkpoint) -> bool:
+        """Swap a repaired snapshot in for a corrupt one, in place."""
+        for i, held in enumerate(self._ring):
+            if held is old:
+                self._ring[i] = new
+                return True
+        return False
+
+    def drop_latest(self) -> Checkpoint | None:
+        """Pop the newest snapshot (rollback found it unverifiable)."""
+        return self._ring.pop() if self._ring else None
 
     def clear(self) -> None:
         """Drop all snapshots (after a degradation changed the grid)."""
@@ -108,6 +141,11 @@ class CheckpointRing:
             )
             for bid, acc in model.outputs.items()
         }
+        digests = None
+        if self.checksums:
+            from repro.resilience.integrity import checkpoint_checksums
+
+            digests = checkpoint_checksums(states)
         ckpt = Checkpoint(
             step=model.step_count,
             time=model.time,
@@ -116,6 +154,7 @@ class CheckpointRing:
             n_levels=model.grid.n_levels,
             states=states,
             outputs=outputs,
+            checksums=digests,
         )
         self._ring.append(ckpt)
         self.taken += 1

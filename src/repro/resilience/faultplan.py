@@ -33,6 +33,18 @@ Fault kinds
     After model step *step*, *value* (NaN by default) is written into
     field *field* of block *block* — a simulated silent kernel
     corruption.
+``bitflip``
+    One bit (index *bit*, default 1 — a low-order mantissa bit, i.e.
+    quintessential *silent* corruption: the value stays finite and
+    plausible) is XORed into one of three targets selected by *target*:
+    ``"state"`` flips a bit of field *field* in block *block* of the
+    published state before step *step* runs; ``"halo"`` flips a bit of
+    rank *rank*'s *op*-th transported message payload (in flight — the
+    sender's stash copy stays clean, so the CRC/NACK/retransmit path can
+    correct it); ``"checkpoint"`` flips a bit of the newest in-memory
+    checkpoint's stored buffers after the step-*step* checkpoint is
+    taken.  Only the ABFT layer (:mod:`repro.resilience.integrity`) can
+    see these — the health monitor and divergence sentinel cannot.
 
 File format (JSON)::
 
@@ -65,13 +77,18 @@ from typing import Iterable
 from repro.errors import ConfigurationError
 
 #: Recognized fault kinds.
-FAULT_KINDS = ("rank_crash", "msg_drop", "msg_delay", "straggler", "nan")
+FAULT_KINDS = (
+    "rank_crash", "msg_drop", "msg_delay", "straggler", "nan", "bitflip",
+)
 
 #: Kinds injected into the simulated-MPI transport.
 COMM_KINDS = ("rank_crash", "msg_drop", "msg_delay", "straggler")
 
 #: Kinds injected into the numerical state.
 STATE_KINDS = ("nan",)
+
+#: Injection targets for the ``bitflip`` kind.
+BITFLIP_TARGETS = ("state", "halo", "checkpoint")
 
 
 @dataclass(frozen=True)
@@ -89,6 +106,8 @@ class FaultSpec:
     delay_s: float = 0.02
     factor: float = 4.0
     phase: str | None = None
+    target: str | None = None
+    bit: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -105,6 +124,23 @@ class FaultSpec:
             raise ConfigurationError(f"{self.kind} fault needs a rank")
         if self.kind == "nan" and self.step is None:
             raise ConfigurationError("nan fault needs a step")
+        if self.kind == "bitflip":
+            tgt = self.target if self.target is not None else "state"
+            if tgt not in BITFLIP_TARGETS:
+                raise ConfigurationError(
+                    f"unknown bitflip target {self.target!r}; expected "
+                    f"one of {BITFLIP_TARGETS}"
+                )
+            if tgt in ("state", "checkpoint") and self.step is None:
+                raise ConfigurationError(
+                    f"bitflip target {tgt!r} needs a step"
+                )
+            if tgt == "halo" and (self.rank is None or self.op is None):
+                raise ConfigurationError(
+                    "bitflip target 'halo' needs a rank and an op"
+                )
+            if self.bit < 0:
+                raise ConfigurationError("bit index must be >= 0")
         if self.kind == "straggler" and self.factor < 1.0:
             raise ConfigurationError("straggler factor must be >= 1")
         if self.delay_s < 0:
@@ -127,6 +163,12 @@ class FaultSpec:
             parts.append(f"x{self.factor:g}")
         if self.kind == "nan":
             parts.append(f"{self.field}[block {self.block}]")
+        if self.kind == "bitflip":
+            tgt = self.target if self.target is not None else "state"
+            parts.append(f"target={tgt}")
+            if tgt in ("state", "checkpoint"):
+                parts.append(f"{self.field}[block {self.block}]")
+            parts.append(f"bit={self.bit}")
         return " ".join(parts)
 
 
@@ -177,6 +219,29 @@ class FaultPlan:
                         value=rng.choice((math.nan, math.inf, -math.inf)),
                     )
                 )
+            elif kind == "bitflip":
+                target = rng.choice(BITFLIP_TARGETS)
+                if target == "halo":
+                    out.append(
+                        FaultSpec(
+                            kind="bitflip",
+                            target="halo",
+                            rank=rank,
+                            op=rng.randrange(0, 12),
+                            bit=rng.randrange(0, 16),
+                        )
+                    )
+                else:
+                    out.append(
+                        FaultSpec(
+                            kind="bitflip",
+                            target=target,
+                            step=rng.randrange(1, max(2, n_steps)),
+                            block=rng.randrange(n_blocks),
+                            field=rng.choice(("z", "m", "n")),
+                            bit=rng.randrange(0, 16),
+                        )
+                    )
             elif kind == "straggler":
                 out.append(
                     FaultSpec(
@@ -314,6 +379,43 @@ class FaultPlan:
         for i, _f in hits:
             self._mark(i, consume=True)
         return [f for _i, f in hits]
+
+    def bitflips_at(self, step: int, target: str) -> list[FaultSpec]:
+        """Unconsumed bit-flip faults for *target* scheduled at *step*.
+
+        *target* is ``"state"`` or ``"checkpoint"`` (halo flips are
+        matched per send via :meth:`halo_flip`).  Consumed on return —
+        after a quarantine-rollback the rerun of the same step is clean,
+        which is the transient-SDC model ECC scrubbing assumes.
+        """
+        with self._lock:
+            hits = [
+                (i, f)
+                for i, f in enumerate(self.faults)
+                if f.kind == "bitflip"
+                and (f.target or "state") == target
+                and f.step == step
+                and i not in self._consumed
+            ]
+        for i, _f in hits:
+            self._mark(i, consume=True)
+        return [f for _i, f in hits]
+
+    def halo_flip(self, rank: int, op: int) -> FaultSpec | None:
+        """Unconsumed halo bit-flip for *rank*'s *op*-th sent payload."""
+        with self._lock:
+            for i, f in enumerate(self.faults):
+                if (
+                    f.kind == "bitflip"
+                    and (f.target or "state") == "halo"
+                    and f.rank == rank
+                    and f.op == op
+                    and i not in self._consumed
+                ):
+                    self._triggered.add(i)
+                    self._consumed.add(i)
+                    return f
+        return None
 
     def straggler_factor(self, step: int) -> float:
         """Combined hardware slowdown active at model step *step*."""

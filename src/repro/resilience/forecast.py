@@ -27,6 +27,14 @@ from repro.resilience.clock import SimulatedClock
 from repro.resilience.deadline import DeadlineSupervisor
 from repro.resilience.faultplan import FaultPlan
 from repro.resilience.health import HealthMonitor
+from repro.resilience.integrity import (
+    INTEGRITY_NAME,
+    CheckpointScrubber,
+    IntegrityMonitor,
+    IntegrityTracker,
+    integrity_doc,
+    write_integrity_json,
+)
 from repro.resilience.recovery import RecoveryEngine
 from repro.resilience.report import ForecastReport
 
@@ -56,6 +64,9 @@ def run_resilient_forecast(
     physics_every: int = 5,
     physics_abort: bool = True,
     gauge_recorder=None,
+    integrity_every: int = 0,
+    integrity_abort: bool = True,
+    scrub_every: int = 0,
 ) -> ForecastReport:
     """Run a forecast that always produces a (possibly degraded) report.
 
@@ -78,6 +89,18 @@ def run_resilient_forecast(
     ``physics_verdict``/``physics``, and with *store* given a
     ``physics.json`` lands in the run directory.  *gauge_recorder*
     optionally feeds station series into the sampler's anomaly scores.
+
+    *integrity_every* arms the ABFT layer
+    (:mod:`repro.resilience.integrity`) on that step cadence (0 turns it
+    off): per-block state checksums verified through the leap-frog
+    window, digests on every ring checkpoint, and a scrubber pass every
+    *scrub_every* steps plus once at the end of the run.  A checksum
+    mismatch (with *integrity_abort*) raises into the recovery engine's
+    quarantine-rollback; the report carries
+    ``integrity_verdict``/``integrity``, and with *store* given an
+    ``integrity.json`` lands in the run directory.  A cadence of 1
+    catches every between-step mutation; higher cadences trade detection
+    coverage for overhead.
     """
     config = config or SimulationConfig()
     model = RTiModel(grid, bathymetry, config)
@@ -112,8 +135,33 @@ def run_resilient_forecast(
             ),
         )
         monitor = CompositeMonitor([health, sentinel])
+    tracker = None
+    integrity = None
+    if integrity_every:
+        tracker = IntegrityTracker(
+            on_event=(
+                (lambda ev: store.record_event("integrity", **ev))
+                if store is not None
+                else None
+            )
+        )
+        integrity = IntegrityMonitor(
+            every=integrity_every, tracker=tracker, abort=integrity_abort
+        )
+        parts = [health, integrity] if sentinel is None else [
+            health, sentinel, integrity
+        ]
+        monitor = CompositeMonitor(parts)
     ring = CheckpointRing(
-        capacity=checkpoint_capacity, store=store, spill_every=spill_every
+        capacity=checkpoint_capacity,
+        store=store,
+        spill_every=spill_every,
+        checksums=integrity_every > 0,
+    )
+    scrubber = (
+        CheckpointScrubber(ring, store=store, tracker=tracker)
+        if tracker is not None
+        else None
     )
     clock = SimulatedClock(platform=platform)
     supervisor = (
@@ -132,6 +180,9 @@ def run_resilient_forecast(
         min_levels=min_levels,
         max_output_every=max_output_every,
         journal=store.record_event if store is not None else None,
+        tracker=tracker,
+        scrubber=scrubber,
+        scrub_every=scrub_every,
     )
     from repro.obs.trace import span as _span
 
@@ -141,7 +192,19 @@ def run_resilient_forecast(
     ):
         final = engine.run()
 
-    rollbacks = sum(1 for ev in engine.recoveries if ev.kind == "rollback")
+    if scrubber is not None:
+        # Final scrub: a checkpoint-surface flip that no rollback or
+        # cadence pass ever touched must still be adjudicated before the
+        # verdict is folded — detected-and-contained, never silent.
+        scrubber.scrub()
+    if tracker is not None:
+        tracker.export_verdict()
+
+    rollbacks = sum(
+        1
+        for ev in engine.recoveries
+        if ev.kind in ("rollback", "quarantine_rollback")
+    )
     degraded = (
         engine.aborted
         or (supervisor is not None and supervisor.degraded)
@@ -170,6 +233,8 @@ def run_resilient_forecast(
         # The full physics.json-shaped document (samples included), so
         # callers can merge counter tracks into their trace export.
         physics=physics_doc(sentinel=sentinel) if sentinel is not None else None,
+        integrity_verdict=tracker.verdict if tracker is not None else None,
+        integrity=integrity_doc(tracker) if tracker is not None else None,
     )
     report.model = final
     _LOG.info(
@@ -179,6 +244,7 @@ def run_resilient_forecast(
         elapsed_s=round(clock.elapsed_s, 3),
         rollbacks=rollbacks,
         physics_verdict=report.physics_verdict,
+        integrity_verdict=report.integrity_verdict,
     )
     if store is not None:
         store.record_event(
@@ -190,7 +256,12 @@ def run_resilient_forecast(
             checkpoints_spilled=ring.spilled,
             rollbacks=rollbacks,
             physics_verdict=report.physics_verdict,
+            integrity_verdict=report.integrity_verdict,
         )
         if sentinel is not None:
             write_physics_json(store.rundir / PHYSICS_NAME, report.physics)
+        if tracker is not None:
+            write_integrity_json(
+                store.rundir / INTEGRITY_NAME, report.integrity
+            )
     return report

@@ -135,6 +135,65 @@ def corrupt_state(states: dict, spec: FaultSpec) -> int | None:
     return bid
 
 
+def flip_bit(arr: np.ndarray, bit_index: int) -> tuple[int, int]:
+    """XOR one bit of *arr*'s buffer in place (simulated SDC).
+
+    *bit_index* addresses bits across the array's flattened C-order
+    buffer and wraps modulo its size, so any non-negative index is
+    valid for any array.  Returns ``(element_index, bit_within_elem)``
+    for attribution.  The array must be viewable as bytes in place
+    (any contiguous or strided real array qualifies via element slicing).
+    """
+    if arr.size == 0:
+        raise ValueError("cannot flip a bit of an empty array")
+    nbits = arr.dtype.itemsize * 8
+    elem = (bit_index // nbits) % arr.size
+    bit = bit_index % nbits
+    # One element is round-tripped through its bytes and stored back —
+    # in place for any layout, contiguous or strided.
+    idx = np.unravel_index(elem, arr.shape)
+    raw = bytearray(arr[idx].tobytes())
+    raw[bit // 8] ^= 1 << (bit % 8)
+    arr[idx] = np.frombuffer(bytes(raw), dtype=arr.dtype)[0]
+    return elem, bit
+
+
+def corrupt_state_bitflip(states: dict, spec: FaultSpec) -> int | None:
+    """Apply a ``bitflip`` fault to a dict of block states.
+
+    Flips bit ``spec.bit`` of the *read* buffer of field ``spec.field``
+    of block ``spec.block`` (or the lowest block id when absent) — the
+    buffer the previous step published and checksummed, so the integrity
+    monitor's next verification pass catches the mutation.  Returns the
+    corrupted block id, or ``None`` with nothing to corrupt.
+    """
+    if not states:
+        return None
+    bid = spec.block if spec.block in states else min(states)
+    st = states[bid]
+    arr = {"z": st.z_old, "m": st.m_old, "n": st.n_old}[spec.field]
+    flip_bit(arr, spec.bit)
+    return bid
+
+
+def corrupt_checkpoint(ckpt, spec: FaultSpec) -> int | None:
+    """Apply a ``bitflip`` fault to one checkpoint's stored buffers.
+
+    Flips bit ``spec.bit`` of the read-side copy of field ``spec.field``
+    in block ``spec.block`` of *ckpt* (or the lowest block id when
+    absent).  The checkpoint's recorded digests are left untouched, so
+    the scrubber's re-verification — or a rollback's pre-restore check —
+    detects the mismatch.  Returns the corrupted block id or ``None``.
+    """
+    if ckpt is None or not ckpt.states:
+        return None
+    bid = spec.block if spec.block in ckpt.states else min(ckpt.states)
+    bufs = ckpt.states[bid]
+    base = {"z": 0, "m": 2, "n": 4}[spec.field]
+    flip_bit(bufs[base + bufs[6]], spec.bit)
+    return bid
+
+
 def nonfinite_blocks(states: dict) -> list[int]:
     """Block ids whose prognostic read buffers contain NaN/Inf."""
     bad = []

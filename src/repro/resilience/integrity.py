@@ -1,0 +1,844 @@
+"""Silent-data-corruption defense: ABFT checksums, scrub, quarantine.
+
+Every fault the resilience layer injected before this module was *loud*
+— a crash, a timeout, a NaN the health monitor trips on.  This module
+defends against the quiet failure mode: a flipped bit that leaves every
+value finite and plausible while making the forecast silently wrong.
+The paper's simulator runs operationally across hardware with varying
+ECC coverage; a wrong forecast delivered on time is the worst outcome it
+can produce, so corruption must be *detected*, *contained*, and either
+*corrected* or *reported* — never ignored.
+
+Four cooperating pieces, one per detection/containment point:
+
+:class:`IntegrityMonitor`
+    Rides the model's monitor hook.  On a cadence it records per-block
+    CRC-32 checksums of the published (read-buffer) state fields; on the
+    following step — while the leap-frog double buffering still holds
+    that memory read-only — it re-verifies them.  Any mutation of
+    published state between the two hooks (the SDC window) raises
+    :class:`~repro.errors.IntegrityError` naming the corrupt blocks, and
+    the recovery engine quarantines + rolls back instead of running on.
+:class:`MessageIntegrity`
+    CRC on :mod:`repro.par.comm` message payloads.  The sender stashes a
+    clean copy per channel; a receiver whose CRC check fails NACKs and
+    consumes the retransmit copy — the seeded wire-corruption path is
+    corrected in place, bitwise.
+:class:`CheckpointScrubber`
+    Re-verifies the digests of in-memory ring checkpoints and
+    disk-spilled snapshots on a cadence.  Corrupt ring entries are
+    repaired block-by-block from a verified disk copy of the same step
+    when one exists, else evicted; corrupt disk snapshots are
+    quarantined (renamed out of the restore path).
+:class:`IntegrityTracker`
+    The shared ledger: every check, detection, correction, retransmit
+    and scrub action lands here, becomes ``repro_integrity_*`` metrics
+    (detection-latency histogram carries trace-id exemplars), and folds
+    into the end-of-run verdict — ``clean`` / ``corrected`` /
+    ``corrupted`` — that flows through
+    :class:`~repro.resilience.report.ForecastReport`, the service
+    backends, the integrity SLO, ``integrity.json`` and ``repro inspect
+    RUNDIR --integrity`` (exit 8 on detected-but-uncorrected).
+
+Design constraints mirror the physics sentinel's: the monitor is
+**non-mutating** (a run with the layer armed but nothing injected is
+bitwise identical to one without it) and **cheap** (cadence-gated, CRC
+only on the hot path; tier-1 guards both properties).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, IntegrityError, PersistError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+from repro.xchg.packing import payload_crc
+
+_TRACER = get_tracer()
+
+#: Schema tag for ``integrity.json`` documents.
+INTEGRITY_SCHEMA = "repro.resilience.integrity/1"
+
+#: Default filename for the per-run integrity document.
+INTEGRITY_NAME = "integrity.json"
+
+#: Verdicts, in increasing severity.  ``corrected`` means corruption was
+#: detected *and* neutralized (retransmit, scrub repair, or rollback to
+#: a verified checkpoint); ``corrupted`` means detected but not
+#: correctable — the run's products must not be trusted silently.
+CLEAN = "clean"
+CORRECTED = "corrected"
+CORRUPTED = "corrupted"
+INTEGRITY_VERDICTS = (CLEAN, CORRECTED, CORRUPTED)
+
+#: Numeric codes for the ``repro_integrity_verdict`` gauge.
+INTEGRITY_CODES = {CLEAN: 0, CORRECTED: 1, CORRUPTED: 2}
+
+#: Injection/detection surfaces.
+SURFACES = ("state", "halo", "checkpoint")
+
+#: Buckets for the detection-latency histogram [steps between the
+#: checksummed instant and the check that caught the mismatch].
+LATENCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+#: Prognostic fields covered by block checksums, and their read/write
+#: buffer accessors on :class:`~repro.core.state.BlockState`.
+_FIELDS = ("z", "m", "n")
+
+
+# ---------------------------------------------------------------------------
+# Block checksums (the ABFT primitive)
+# ---------------------------------------------------------------------------
+
+
+def masked_sum(arr: np.ndarray) -> float:
+    """Sum of the finite entries of *arr* (the ABFT-style field sum).
+
+    Masking keeps the sum comparable in the presence of sentinel NaNs:
+    a checksum of partially-dry or deliberately-poisoned state still
+    carries signal about the finite part.
+    """
+    a = np.asarray(arr)
+    finite = np.isfinite(a)
+    if finite.all():
+        return float(a.sum(dtype=np.float64))
+    return float(a[finite].sum(dtype=np.float64))
+
+
+def state_checksums(states: dict, new: bool = False) -> dict:
+    """Per-block CRC-32 of each prognostic field's published buffer.
+
+    *new* selects the write-side buffers instead — the same memory one
+    leap-frog step later, which is how :class:`IntegrityMonitor`
+    re-verifies a checksum it took on the previous step.  Pure read.
+    """
+    out: dict = {}
+    for bid, st in states.items():
+        if new:
+            arrs = (st.z_new, st.m_new, st.n_new)
+        else:
+            arrs = (st.z_old, st.m_old, st.n_old)
+        out[bid] = {f: payload_crc(a) for f, a in zip(_FIELDS, arrs)}
+    return out
+
+
+def checkpoint_checksums(states: dict) -> dict:
+    """Digest a checkpoint's ``states`` map (all six leap-frog buffers).
+
+    Returns ``{block_id: {"crc": (c0..c5), "sum": (s0..s5)}}`` — the
+    CRCs give exact bit-level verification, the masked field sums are
+    the human-readable ABFT component that lands in scrub reports.
+    """
+    return {
+        bid: {
+            "crc": tuple(payload_crc(a) for a in bufs[:6]),
+            "sum": tuple(masked_sum(a) for a in bufs[:6]),
+        }
+        for bid, bufs in states.items()
+    }
+
+
+def verify_checkpoint(ckpt) -> list[tuple[int, int]]:
+    """Re-verify a checkpoint's stored digests against its arrays.
+
+    Returns the list of ``(block_id, buffer_index)`` pairs whose CRC no
+    longer matches — empty for a clean (or undigested) checkpoint.
+    """
+    if getattr(ckpt, "checksums", None) is None:
+        return []
+    bad: list[tuple[int, int]] = []
+    for bid, digest in ckpt.checksums.items():
+        bufs = ckpt.states.get(bid)
+        if bufs is None:
+            bad.append((bid, -1))
+            continue
+        for k, crc in enumerate(digest["crc"]):
+            if payload_crc(bufs[k]) != crc:
+                bad.append((bid, k))
+    return bad
+
+
+def snapshot_checksums(blocks: dict) -> dict:
+    """Digest a rank snapshot's ``blocks`` map (survivable runtime).
+
+    Same layout as :func:`checkpoint_checksums`; shipped alongside the
+    buddy replica so the assembly step can tell a clean neighbor copy
+    from a corrupt own copy.
+    """
+    return checkpoint_checksums(blocks)
+
+
+def verify_blocks(blocks: dict, checksums: dict | None) -> list[int]:
+    """Block ids of *blocks* whose stored CRCs fail to verify."""
+    if not checksums:
+        return []
+    bad = []
+    for bid, digest in checksums.items():
+        bufs = blocks.get(bid)
+        if bufs is None:
+            bad.append(bid)
+            continue
+        if any(
+            payload_crc(bufs[k]) != crc
+            for k, crc in enumerate(digest["crc"])
+        ):
+            bad.append(bid)
+    return bad
+
+
+# ---------------------------------------------------------------------------
+# The shared ledger
+# ---------------------------------------------------------------------------
+
+
+class IntegrityTracker:
+    """Thread-safe ledger of integrity checks, detections and outcomes.
+
+    One tracker is shared by every integrity collaborator of a run (the
+    monitor, the scrubber, the message-CRC policy, the recovery engine),
+    so the end-of-run verdict is a single fold over everything that
+    happened.  ``on_event`` (typically ``RunStore.record_event``)
+    receives every non-clean event write-ahead.
+    """
+
+    def __init__(self, max_events: int = 512, on_event=None) -> None:
+        self._lock = threading.Lock()
+        self.max_events = max_events
+        self.on_event = on_event
+        self.checks = 0
+        self.detections: dict[str, int] = dict.fromkeys(SURFACES, 0)
+        self.corrections: dict[str, int] = {}
+        self.uncorrected = 0
+        self.retransmits = 0
+        self.scrub_passes = 0
+        self.scrub_evictions = 0
+        self.scrub_repairs = 0
+        self.events: list[dict] = []
+        self._metrics = None
+
+    # -- recording -------------------------------------------------------
+
+    def note_checks(self, n: int = 1) -> None:
+        with self._lock:
+            self.checks += n
+
+    def _event(self, kind: str, **fields) -> None:
+        event = {"kind": kind, **fields}
+        with self._lock:
+            self.events.append(event)
+            if len(self.events) > self.max_events:
+                del self.events[: -self.max_events]
+        if _TRACER.enabled:
+            _TRACER.instant(
+                f"integrity:{kind}",
+                cat="resilience",
+                **{k: str(v) for k, v in fields.items()},
+            )
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def detection(
+        self,
+        surface: str,
+        step: int | None = None,
+        detail: str = "",
+        blocks=(),
+        latency_steps: float | None = None,
+    ) -> None:
+        """One detected corruption (not yet judged corrected or not)."""
+        with self._lock:
+            self.detections[surface] = self.detections.get(surface, 0) + 1
+        self._event(
+            "detection",
+            surface=surface,
+            step=step,
+            detail=detail,
+            blocks=sorted(blocks),
+        )
+        if _TRACER.enabled:
+            reg = get_registry()
+            reg.counter(
+                "repro_integrity_detections_total",
+                "corruption detections by surface",
+                labels={"surface": surface},
+            ).inc()
+            ctx = _TRACER.current_context()
+            reg.histogram(
+                "repro_integrity_detection_latency_steps",
+                "steps between checksum capture and the failing check",
+                buckets=LATENCY_BUCKETS,
+            ).observe(
+                1.0 if latency_steps is None else float(latency_steps),
+                trace_id=ctx.trace_id if ctx is not None else None,
+            )
+
+    def corrected(
+        self,
+        action: str,
+        surface: str,
+        step: int | None = None,
+        detail: str = "",
+    ) -> None:
+        """A detected corruption was neutralized by *action*."""
+        with self._lock:
+            self.corrections[action] = self.corrections.get(action, 0) + 1
+            if action == "retransmit":
+                self.retransmits += 1
+            elif action == "scrub_repair":
+                self.scrub_repairs += 1
+        self._event(
+            "corrected", action=action, surface=surface, step=step,
+            detail=detail,
+        )
+        if _TRACER.enabled:
+            get_registry().counter(
+                "repro_integrity_corrections_total",
+                "corruption corrections by action",
+                labels={"action": action},
+            ).inc()
+
+    def uncorrectable(
+        self, surface: str, step: int | None = None, detail: str = ""
+    ) -> None:
+        """A detected corruption could not be corrected (exit-8 class)."""
+        with self._lock:
+            self.uncorrected += 1
+        self._event(
+            "uncorrected", surface=surface, step=step, detail=detail
+        )
+        if _TRACER.enabled:
+            get_registry().counter(
+                "repro_integrity_uncorrected_total",
+                "detected-but-uncorrected corruption events",
+            ).inc()
+
+    def scrubbed(self, evicted: int = 0, repaired: int = 0) -> None:
+        with self._lock:
+            self.scrub_passes += 1
+            self.scrub_evictions += evicted
+            # scrub_repairs counted via corrected("scrub_repair", ...)
+
+    # -- folding ---------------------------------------------------------
+
+    @property
+    def detected_total(self) -> int:
+        return sum(self.detections.values())
+
+    @property
+    def verdict(self) -> str:
+        if self.uncorrected:
+            return CORRUPTED
+        if self.detected_total:
+            return CORRECTED
+        return CLEAN
+
+    def export_verdict(self) -> None:
+        """Publish the current verdict gauge (called at run end)."""
+        if _TRACER.enabled:
+            get_registry().gauge(
+                "repro_integrity_verdict",
+                "end-of-run integrity verdict "
+                "(0 clean, 1 corrected, 2 corrupted)",
+            ).set(INTEGRITY_CODES[self.verdict])
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "verdict": self.verdict,
+                "checks": self.checks,
+                "detections": dict(self.detections),
+                "corrections": dict(self.corrections),
+                "uncorrected": self.uncorrected,
+                "retransmits": self.retransmits,
+                "scrub_passes": self.scrub_passes,
+                "scrub_evictions": self.scrub_evictions,
+                "scrub_repairs": self.scrub_repairs,
+                "events": list(self.events),
+            }
+
+
+# ---------------------------------------------------------------------------
+# The state monitor
+# ---------------------------------------------------------------------------
+
+
+class IntegrityMonitor:
+    """Cadence-gated checksum/verify cycle over published model state.
+
+    The leap-frog double buffering gives one free invariant: the buffer
+    published at the end of step *k* (``z_old`` then) is only *read*
+    during step *k+1* and is reachable as ``z_new`` after it — the same
+    memory, untouched by any correct execution.  The monitor records
+    per-block CRCs of the published buffers on its cadence and
+    re-verifies them through that window one step later, so any
+    between-step mutation of published state — a flipped mantissa bit
+    the physics sentinel can never see — is caught before the corrupted
+    data is overwritten, while a rollback target still predates it.
+
+    Composes with the health monitor and physics sentinel via
+    :class:`repro.core.CompositeMonitor`.  Non-mutating by construction.
+    """
+
+    def __init__(
+        self,
+        every: int = 1,
+        tracker: IntegrityTracker | None = None,
+        abort: bool = True,
+    ) -> None:
+        if every < 1:
+            raise ConfigurationError(
+                "integrity cadence must be >= 1 step"
+            )
+        self.every = every
+        self.tracker = tracker if tracker is not None else IntegrityTracker()
+        self.abort = abort
+        self.violations = 0
+        self._pending: tuple[int, dict] | None = None
+
+    def after_step(self, model) -> None:
+        step = model.step_count
+        if self._pending is not None:
+            pstep, sums = self._pending
+            self._pending = None
+            self._verify(model, pstep, sums, step)
+        if step % self.every == 0:
+            self._pending = (step, state_checksums(model.states))
+
+    def _verify(
+        self, model, pstep: int, sums: dict, step: int
+    ) -> None:
+        current = state_checksums(
+            {bid: st for bid, st in model.states.items() if bid in sums},
+            new=True,
+        )
+        self.tracker.note_checks(
+            sum(len(v) for v in sums.values())
+        )
+        bad: list[tuple[int, str]] = []
+        for bid, by_field in sums.items():
+            got = current.get(bid)
+            if got is None:
+                continue  # grid changed under us; stale checksum
+            bad.extend(
+                (bid, f) for f, crc in by_field.items() if got[f] != crc
+            )
+        if not bad:
+            return
+        self.violations += 1
+        blocks = sorted({bid for bid, _f in bad})
+        detail = ", ".join(f"block {bid} field {f}" for bid, f in bad)
+        self.tracker.detection(
+            "state",
+            step=step,
+            detail=f"published state of step {pstep} mutated: {detail}",
+            blocks=blocks,
+            latency_steps=step - pstep,
+        )
+        if self.abort:
+            raise IntegrityError(
+                f"step {step}: checksum mismatch on published state of "
+                f"step {pstep} ({detail}) — silent corruption in the "
+                f"leap-frog window",
+                surface="state",
+                blocks=blocks,
+                step=step,
+            )
+
+    def reset_baseline(self) -> None:
+        """Forget pending checksums after a rollback or grid change."""
+        self._pending = None
+
+
+# ---------------------------------------------------------------------------
+# Message CRC + NACK/retransmit (par.comm policy object)
+# ---------------------------------------------------------------------------
+
+
+class CrcFrame:
+    """One CRC-protected transport payload (see :class:`MessageIntegrity`)."""
+
+    __slots__ = ("seq", "crc", "payload")
+
+    def __init__(self, seq: int, crc: int, payload) -> None:
+        self.seq = seq
+        self.crc = crc
+        self.payload = payload
+
+
+class MessageIntegrity:
+    """CRC framing + retransmit policy shared by one transport world.
+
+    Wired into :class:`repro.par.comm.Communicator` (one instance per
+    world, used from every rank thread — all state is lock-guarded):
+
+    * ``wrap`` runs on the sender: computes the payload CRC, stashes a
+      clean retransmit copy per ``(src, dest, tag)`` channel, consults
+      the fault plan for a scheduled wire bit-flip (applied to the
+      *transported* copy only — simulated in-flight corruption), and
+      frames the result;
+    * ``unwrap`` runs on the receiver: verifies the CRC and, on
+      mismatch, consumes the retransmit copy — the NACK path.  A
+      mismatch with no usable retransmit copy raises
+      :class:`~repro.errors.IntegrityError`.
+    """
+
+    def __init__(self, plan=None, tracker: IntegrityTracker | None = None,
+                 stash_depth: int = 4) -> None:
+        self.plan = plan
+        self.tracker = tracker if tracker is not None else IntegrityTracker()
+        self.stash_depth = stash_depth
+        self._lock = threading.Lock()
+        self._seq: dict[tuple, int] = {}
+        #: channel -> list of (seq, clean payload copy), newest last.
+        self._stash: dict[tuple, list] = {}
+        self._ops: dict[int, int] = {}
+
+    def wrap(self, src: int, dest: int, tag: int, payload) -> CrcFrame:
+        crc = payload_crc(payload)
+        channel = (src, dest, tag)
+        with self._lock:
+            seq = self._seq.get(channel, 0)
+            self._seq[channel] = seq + 1
+            stash = self._stash.setdefault(channel, [])
+            stash.append((seq, payload.copy()))
+            del stash[: -self.stash_depth]
+            op = self._ops.get(src, 0)
+            self._ops[src] = op + 1
+        wire = payload
+        if self.plan is not None:
+            spec = self.plan.halo_flip(src, op)
+            if spec is not None:
+                from repro.resilience.inject import flip_bit
+
+                wire = payload.copy()
+                flip_bit(wire, spec.bit)
+        return CrcFrame(seq, crc, wire)
+
+    def unwrap(self, rank: int, src: int, tag: int, frame: CrcFrame):
+        self.tracker.note_checks()
+        if payload_crc(frame.payload) == frame.crc:
+            return frame.payload
+        self.tracker.detection(
+            "halo",
+            detail=(
+                f"payload CRC mismatch on {src}->{rank} tag {tag} "
+                f"seq {frame.seq}"
+            ),
+        )
+        channel = (src, rank, tag)
+        with self._lock:
+            clean = next(
+                (
+                    p
+                    for s, p in self._stash.get(channel, ())
+                    if s == frame.seq
+                ),
+                None,
+            )
+        if clean is not None and payload_crc(clean) == frame.crc:
+            self.tracker.corrected(
+                "retransmit",
+                "halo",
+                detail=f"NACK {src}->{rank} tag {tag} seq {frame.seq}",
+            )
+            return clean.copy()
+        self.tracker.uncorrectable(
+            "halo",
+            detail=(
+                f"no clean retransmit copy for {src}->{rank} tag {tag} "
+                f"seq {frame.seq}"
+            ),
+        )
+        raise IntegrityError(
+            f"rank {rank}: corrupt payload from rank {src} (tag {tag}, "
+            f"seq {frame.seq}) and no clean retransmit copy",
+            surface="halo",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint scrubber
+# ---------------------------------------------------------------------------
+
+
+class CheckpointScrubber:
+    """Cadence re-verification of ring and disk checkpoints.
+
+    ``scrub()`` walks the in-memory ring (entries that carry digests),
+    repairs a corrupt entry block-by-block from the verified disk spill
+    of the same step when one exists, evicts it otherwise, then verifies
+    the digests of on-disk snapshots and quarantines any that fail
+    (renamed ``quarantined-*`` so the restore path never sees them).
+    Every action lands in the shared :class:`IntegrityTracker`.
+    """
+
+    def __init__(
+        self, ring, store=None, tracker: IntegrityTracker | None = None
+    ) -> None:
+        self.ring = ring
+        self.store = store
+        self.tracker = tracker if tracker is not None else IntegrityTracker()
+
+    def scrub(self) -> dict:
+        checked = evicted = repaired = 0
+        for ckpt in self.ring.entries():
+            if ckpt.checksums is None:
+                continue
+            checked += 1
+            self.tracker.note_checks(len(ckpt.checksums))
+            bad = verify_checkpoint(ckpt)
+            if not bad:
+                continue
+            blocks = sorted({bid for bid, _k in bad})
+            self.tracker.detection(
+                "checkpoint",
+                step=ckpt.step,
+                detail=(
+                    f"ring entry @ step {ckpt.step} failed digest "
+                    f"re-verification on {len(bad)} buffer(s)"
+                ),
+                blocks=blocks,
+            )
+            fixed = self._repair(ckpt, bad)
+            if fixed is not None:
+                self.ring.replace(ckpt, fixed)
+                repaired += 1
+                self.tracker.corrected(
+                    "scrub_repair",
+                    "checkpoint",
+                    step=ckpt.step,
+                    detail=(
+                        f"rebuilt block(s) {blocks} from the verified "
+                        f"disk spill of step {ckpt.step}"
+                    ),
+                )
+            else:
+                self.ring.discard(ckpt)
+                evicted += 1
+        disk_quarantined = self._scrub_disk()
+        self.tracker.scrubbed(evicted=evicted + disk_quarantined)
+        return {
+            "checked": checked,
+            "evicted": evicted,
+            "repaired": repaired,
+            "disk_quarantined": disk_quarantined,
+        }
+
+    def _repair(self, ckpt, bad: list[tuple[int, int]]):
+        """Rebuild corrupt buffers from a same-step disk snapshot."""
+        if self.store is None:
+            return None
+        from repro.persist.snapshot import (
+            STATE_FIELDS,
+            read_manifest,
+            read_snapshot,
+            verify_snapshot,
+        )
+
+        path = None
+        for cand in self.store.snapshot_paths():
+            try:
+                if int(read_manifest(cand)["step"]) == ckpt.step:
+                    path = cand
+                    break
+            except (PersistError, KeyError, ValueError):
+                continue
+        if path is None or verify_snapshot(path):
+            return None
+        try:
+            snap = read_snapshot(path)
+        except PersistError:
+            return None
+        from dataclasses import replace as _dc_replace
+
+        # Snapshot arrays are grouped per grid level; flatten to the
+        # b{bid}_{field} namespace the ring entries use.
+        arrays: dict = {}
+        for level_arrays in snap.arrays.values():
+            arrays.update(level_arrays)
+        states = dict(ckpt.states)
+        for bid in sorted({b for b, _k in bad}):
+            want = [f"b{bid}_{f}" for f in STATE_FIELDS]
+            if any(name not in arrays for name in want):
+                return None
+            bufs = ckpt.states[bid]
+            states[bid] = (
+                *(arrays[name].copy() for name in want),
+                bufs[6],
+            )
+        fixed = _dc_replace(ckpt, states=states)
+        if verify_checkpoint(fixed):
+            return None  # disk copy disagrees with the digest too
+        return fixed
+
+    def _scrub_disk(self) -> int:
+        if self.store is None:
+            return 0
+        from repro.persist.snapshot import verify_snapshot
+
+        quarantined = 0
+        for path in self.store.snapshot_paths():
+            self.tracker.note_checks()
+            problems = verify_snapshot(path)
+            if not problems:
+                continue
+            self.tracker.detection(
+                "checkpoint",
+                detail=(
+                    f"disk snapshot {path.name} failed verification: "
+                    + "; ".join(problems[:3])
+                ),
+            )
+            target = path.with_name(f"quarantined-{path.name}")
+            try:
+                os.replace(path, target)
+            except OSError:
+                continue
+            quarantined += 1
+        return quarantined
+
+
+# ---------------------------------------------------------------------------
+# integrity.json document
+# ---------------------------------------------------------------------------
+
+
+def integrity_doc(
+    tracker: IntegrityTracker | None = None,
+    verdict: str | None = None,
+    counts: dict | None = None,
+    requests: list[dict] | None = None,
+) -> dict:
+    """Assemble an ``integrity.json`` document.
+
+    Two producers share the schema (mirroring ``physics.json``): a
+    single run (tracker ledger — checks, detections, corrections,
+    events) and a service soak (verdict *counts* plus per-request
+    *requests*, no ledger).
+    """
+    doc: dict = {"schema": INTEGRITY_SCHEMA}
+    if verdict is None and tracker is not None:
+        verdict = tracker.verdict
+    doc["verdict"] = verdict if verdict is not None else CLEAN
+    if tracker is not None:
+        doc.update(tracker.to_dict())
+        doc["verdict"] = verdict if verdict is not None else tracker.verdict
+    if counts is not None:
+        doc["counts"] = dict(counts)
+    if requests is not None:
+        doc["requests"] = list(requests)
+    return doc
+
+
+def write_integrity_json(path, doc: dict) -> Path:
+    """Atomically write an integrity document (fsync file + parent)."""
+    from repro.persist.snapshot import fsync_dir
+
+    path = Path(path)
+    tmp = path.with_name(f".tmp-{path.name}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, allow_nan=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        fsync_dir(path.parent)
+    except OSError as exc:
+        tmp.unlink(missing_ok=True)
+        raise PersistError(
+            f"cannot write integrity report {path}: {exc}"
+        ) from exc
+    return path
+
+
+def load_integrity_report(path) -> dict:
+    """Load and sanity-check an ``integrity.json`` document."""
+    path = Path(path)
+    if not path.is_file():
+        raise PersistError(f"no integrity report at {path}")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PersistError(
+            f"unreadable integrity report {path}: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("schema") != INTEGRITY_SCHEMA:
+        raise PersistError(
+            f"{path} is not a {INTEGRITY_SCHEMA} document "
+            f"(schema={doc.get('schema') if isinstance(doc, dict) else None!r})"
+        )
+    return doc
+
+
+def render_integrity_doc(doc: dict) -> tuple[list[str], bool]:
+    """Human-readable integrity report; ``ok`` is False on ``corrupted``.
+
+    Mirrors :func:`repro.obs.physics.render_physics_doc`'s contract so
+    ``repro inspect --integrity`` can gate on the returned flag (exit 8
+    = detected-but-uncorrected corruption).
+    """
+    verdict = doc.get("verdict", CLEAN)
+    ok = verdict != CORRUPTED
+    lines = [f"integrity verdict: {verdict}"]
+    if doc.get("checks"):
+        lines.append(f"checks run: {doc['checks']}")
+    detections = doc.get("detections") or {}
+    total_det = sum(detections.values())
+    if total_det:
+        per = " ".join(
+            f"{k}={v}" for k, v in sorted(detections.items()) if v
+        )
+        lines.append(f"detections: {total_det} ({per})")
+    corrections = doc.get("corrections") or {}
+    if corrections:
+        per = " ".join(f"{k}={v}" for k, v in sorted(corrections.items()))
+        lines.append(f"corrections: {sum(corrections.values())} ({per})")
+    if doc.get("uncorrected"):
+        lines.append(
+            f"UNCORRECTED: {doc['uncorrected']} detection(s) could not "
+            "be repaired — do not trust this run's products"
+        )
+    if doc.get("scrub_passes"):
+        lines.append(
+            f"scrubber: {doc['scrub_passes']} pass(es), "
+            f"{doc.get('scrub_evictions', 0)} evicted, "
+            f"{doc.get('scrub_repairs', 0)} repaired"
+        )
+    counts = doc.get("counts")
+    if counts:
+        total = sum(counts.values())
+        per = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        lines.append(f"requests: {total} ({per})")
+    events = doc.get("events") or []
+    if events:
+        lines.append(f"events ({len(events)}):")
+        for ev in events[:40]:
+            where = f" step {ev['step']}" if ev.get("step") is not None else ""
+            lines.append(
+                f"  {ev.get('kind', '?'):>10}{where}: "
+                f"{ev.get('detail', ev.get('action', ''))}"
+            )
+        if len(events) > 40:
+            lines.append(f"  ... {len(events) - 40} more")
+    requests = doc.get("requests") or []
+    if requests:
+        bad = [r for r in requests if r.get("verdict") == CORRUPTED]
+        lines.append(
+            f"per-request verdicts: {len(requests)} total, "
+            f"{len(bad)} corrupted"
+        )
+        for r in bad[:20]:
+            lines.append(
+                f"  {r.get('request_id', '?')}: {r.get('verdict', '?')}"
+            )
+        if len(bad) > 20:
+            lines.append(f"  ... {len(bad) - 20} more")
+    return lines, ok

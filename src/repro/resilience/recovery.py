@@ -30,6 +30,7 @@ from dataclasses import dataclass, replace
 from repro.core.model import RTiModel
 from repro.errors import (
     CommunicationError,
+    IntegrityError,
     NumericalError,
     RetryExhaustedError,
 )
@@ -39,7 +40,12 @@ from repro.obs.trace import get_tracer, instant
 from repro.resilience.checkpoint import CheckpointRing
 from repro.resilience.deadline import DeadlineSupervisor, DegradationEvent
 from repro.resilience.faultplan import FaultPlan
-from repro.resilience.inject import corrupt_state
+from repro.resilience.inject import (
+    corrupt_checkpoint,
+    corrupt_state,
+    corrupt_state_bitflip,
+)
+from repro.resilience.integrity import verify_checkpoint
 
 _LOG = get_logger("resilience")
 
@@ -119,6 +125,14 @@ class RecoveryEngine:
         Degradation floor for ``drop_level``.
     max_output_every:
         Degradation ceiling for ``coarsen_output``.
+    tracker:
+        Optional :class:`repro.resilience.integrity.IntegrityTracker`
+        collecting corruption detections/corrections — the engine marks
+        an integrity-triggered rollback as the correction and an abort
+        with no verifiable checkpoint as *uncorrected*.
+    scrubber:
+        Optional :class:`repro.resilience.integrity.CheckpointScrubber`
+        run every *scrub_every* steps (0 disables the cadence).
     """
 
     def __init__(
@@ -137,6 +151,9 @@ class RecoveryEngine:
         min_levels: int = 1,
         max_output_every: int = 8,
         journal=None,
+        tracker=None,
+        scrubber=None,
+        scrub_every: int = 0,
     ) -> None:
         if horizon_s <= 0:
             raise NumericalError("horizon must be positive")
@@ -165,9 +182,13 @@ class RecoveryEngine:
         self.journal = journal
         self.recoveries: list[RecoveryEvent] = []
         self.aborted = False
+        self.tracker = tracker
+        self.scrubber = scrubber
+        self.scrub_every = scrub_every
         self._rollbacks = 0
         self._last_rollback_step: int | None = None
         self._last_ckpt_step: int | None = None
+        self._last_scrub_step: int | None = None
 
     # -- helpers ---------------------------------------------------------
 
@@ -213,27 +234,96 @@ class RecoveryEngine:
                 detail=detail,
             )
 
+    def _verified_checkpoint(self):
+        """Newest ring entry whose digests still verify.
+
+        Entries that fail re-verification are evicted (the quarantine:
+        a corrupt rollback target is worse than a shorter rollback), the
+        detection landing in the tracker.  Entries without digests pass
+        unchecked, as before the integrity layer existed.
+        """
+        while True:
+            ckpt = self.ring.latest
+            if ckpt is None:
+                return None
+            bad = verify_checkpoint(ckpt)
+            if not bad:
+                return ckpt
+            blocks = sorted({b for b, _k in bad})
+            if self.tracker is not None:
+                self.tracker.detection(
+                    "checkpoint",
+                    step=ckpt.step,
+                    detail=(
+                        f"rollback target @ step {ckpt.step} failed digest "
+                        f"verification (blocks {blocks})"
+                    ),
+                    blocks=blocks,
+                )
+            self._record(
+                "ckpt_evicted",
+                f"checkpoint @ step {ckpt.step} failed digest "
+                f"verification (blocks {blocks}) — evicted, trying an "
+                f"older one",
+            )
+            self.ring.drop_latest()
+
     def _rollback(self, exc: NumericalError) -> None:
         self._rollbacks += 1
+        quarantine = isinstance(exc, IntegrityError)
         if self._rollbacks > self.max_rollbacks:
             self._record(
                 "recovery_abort",
                 f"rollback budget ({self.max_rollbacks}) exhausted: {exc}",
             )
+            if quarantine and self.tracker is not None:
+                self.tracker.uncorrectable(
+                    exc.surface or "state",
+                    step=exc.step,
+                    detail=f"rollback budget exhausted: {exc}",
+                )
             self.aborted = True
             return
-        ckpt = self.ring.latest
+        ckpt = self._verified_checkpoint()
         if ckpt is None:
             self._record("recovery_abort", f"no checkpoint to restore: {exc}")
+            if quarantine and self.tracker is not None:
+                self.tracker.uncorrectable(
+                    exc.surface or "state",
+                    step=exc.step,
+                    detail=f"no clean checkpoint survives: {exc}",
+                )
             self.aborted = True
             return
         repeat = ckpt.step == self._last_rollback_step
         self.ring.restore(self.model, ckpt)
-        self._record(
-            "rollback",
-            f"restored checkpoint @ step {ckpt.step} after: {exc}",
-        )
-        if repeat:
+        if quarantine:
+            blast = f" (quarantined blocks {exc.blocks})" if exc.blocks else ""
+            self._record(
+                "quarantine_rollback",
+                f"corruption on surface {exc.surface or 'state'}{blast}: "
+                f"restored verified checkpoint @ step {ckpt.step} "
+                f"after: {exc}",
+            )
+            if self.tracker is not None:
+                self.tracker.corrected(
+                    "rollback",
+                    exc.surface or "state",
+                    step=exc.step,
+                    detail=(
+                        f"rolled back to verified checkpoint @ step "
+                        f"{ckpt.step}"
+                    ),
+                )
+        else:
+            self._record(
+                "rollback",
+                f"restored checkpoint @ step {ckpt.step} after: {exc}",
+            )
+        # Corruption is transient (the plan consumes each flip once), so
+        # a repeated quarantine rollback does not mean the *physics* is
+        # stiff — dt halving is reserved for genuine numerical blow-ups.
+        if repeat and not quarantine:
             new_dt = self.model.config.dt / 2.0
             if new_dt < self.dt_min:
                 self._record(
@@ -346,6 +436,44 @@ class RecoveryEngine:
         for spec in self.fault_plan.state_faults_at(self.model.step_count):
             corrupt_state(self.model.states, spec)
 
+    def _inject_bitflips(self) -> None:
+        """Fire scheduled bit flips *before* the step runs.
+
+        State flips land in the published (read) buffers — data the
+        integrity monitor checksummed at the previous ``after_step`` —
+        so the next verification pass catches the mutation while a clean
+        rollback target still exists.  Checkpoint flips land in the
+        newest ring entry, after any same-step snapshot, so the archived
+        copy (not live state) is what the scrubber must catch.
+        """
+        if self.fault_plan is None:
+            return
+        step = self.model.step_count
+        for spec in self.fault_plan.bitflips_at(step, "state"):
+            corrupt_state_bitflip(self.model.states, spec)
+        for spec in self.fault_plan.bitflips_at(step, "checkpoint"):
+            corrupt_checkpoint(self.ring.latest, spec)
+
+    def _maybe_scrub(self, step: int) -> None:
+        if (
+            self.scrubber is None
+            or not self.scrub_every
+            or step == 0
+            or step % self.scrub_every != 0
+            or step == self._last_scrub_step
+        ):
+            return
+        self._last_scrub_step = step
+        stats = self.scrubber.scrub()
+        if stats["evicted"] or stats["repaired"] or stats["disk_quarantined"]:
+            self._record(
+                "scrub",
+                f"checkpoint scrub: {stats['checked']} checked, "
+                f"{stats['repaired']} repaired, {stats['evicted']} "
+                f"evicted, {stats['disk_quarantined']} disk snapshot(s) "
+                f"quarantined",
+            )
+
     # -- the loop --------------------------------------------------------
 
     def run(self) -> RTiModel:
@@ -396,6 +524,10 @@ class RecoveryEngine:
                 except NumericalError as exc:
                     self._rollback(exc)
                     continue
+            self._maybe_scrub(step)
+            if self.aborted:
+                break
+            self._inject_bitflips()
             try:
                 model.step()
                 self._inject_state_faults()

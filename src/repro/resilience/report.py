@@ -39,6 +39,12 @@ class ForecastReport:
     physics_verdict: str | None = None
     #: Sentinel summary (events, aborts, thresholds) when sampling ran.
     physics: dict | None = None
+    #: End-of-run ABFT verdict ("clean" | "corrected" | "corrupted"),
+    #: or None when the integrity layer was off.
+    integrity_verdict: str | None = None
+    #: Integrity ledger (checks, detections, corrections, scrub stats)
+    #: in the ``integrity.json`` shape, when the layer ran.
+    integrity: dict | None = None
 
     @property
     def complete(self) -> bool:
@@ -78,6 +84,14 @@ class ForecastReport:
             lines.append(
                 f"physics         : verdict {self.physics_verdict}"
                 + (f", {aborts} sentinel abort(s)" if aborts else "")
+            )
+        if self.integrity_verdict is not None:
+            doc = self.integrity or {}
+            det = sum((doc.get("detections") or {}).values())
+            cor = sum((doc.get("corrections") or {}).values())
+            lines.append(
+                f"integrity       : verdict {self.integrity_verdict}"
+                + (f", {det} detection(s), {cor} corrected" if det else "")
             )
         if self.faults_triggered:
             lines.append("faults triggered:")

@@ -119,6 +119,10 @@ class SurvivalConfig:
     hedge_min_ratio: float = 1.5
     deadline_s: float | None = None
     store_capacity: int = 2
+    #: Digest every rank snapshot (own copy and buddy replica) so
+    #: recovery assembly can tell a corrupt own copy from a clean
+    #: neighbor one — the ABFT arm of the survivable runtime.
+    integrity: bool = False
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
@@ -153,12 +157,19 @@ class RankSnapshot:
     ``blocks`` maps block_id to the ``(z0, z1, m0, m1, n0, n1, flip)``
     buffer tuple of :meth:`repro.par.driver._RankRuntime.snapshot_blocks`
     — deep copies, safe to ship and to hold across steps.
+
+    ``checksums`` (``{bid: {"crc": ..., "sum": ...}}`` from
+    :func:`repro.resilience.integrity.snapshot_checksums`) travels with
+    the buffers, so the *receiver* of a buddy replica — and a survivor
+    assembling recovery state — can tell a bit-flipped copy from a clean
+    one and prefer the neighbor's.
     """
 
     epoch: int
     step: int
     rank: int
     blocks: dict[int, tuple]
+    checksums: dict | None = None
 
 
 class NeighborCheckpointStore:
@@ -186,6 +197,26 @@ class NeighborCheckpointStore:
     def epochs(self) -> list[int]:
         return sorted(set(self.own) | set(self.replicas))
 
+    def scrub(self) -> int:
+        """Drop entries whose digests no longer match their buffers.
+
+        Returns the number of snapshots evicted.  Entries without
+        checksums (integrity layer off) are kept — there is nothing to
+        verify them against.
+        """
+        from repro.resilience.integrity import verify_blocks
+
+        evicted = 0
+        for entries in (self.own, self.replicas):
+            for epoch in list(entries):
+                snap = entries[epoch]
+                if snap.checksums is None:
+                    continue
+                if verify_blocks(snap.blocks, snap.checksums):
+                    del entries[epoch]
+                    evicted += 1
+        return evicted
+
     def _prune(self, entries: dict[int, RankSnapshot]) -> None:
         while len(entries) > self.capacity:
             del entries[min(entries)]
@@ -198,7 +229,15 @@ def _assemble_recovery(
 
     Returns ``(epoch, step, blocks)`` or ``None`` when no consistent
     epoch exists (e.g. a crash during the very first replication).
+
+    Snapshots carrying checksums are verified block-by-block: a block
+    whose digest fails is skipped, so the same block from another copy
+    of the epoch (typically the buddy replica of the corrupt own entry)
+    fills the slot instead — neighbor repair.  An epoch is only usable
+    when every needed block has at least one *clean* copy.
     """
+    from repro.resilience.integrity import verify_blocks
+
     needed = {b.block_id for b in grid.all_blocks()}
     epochs = sorted(
         {e for s in stores for e in s.epochs()}, reverse=True
@@ -211,7 +250,10 @@ def _assemble_recovery(
                 if snap is None:
                     continue
                 step = snap.step
+                bad = set(verify_blocks(snap.blocks, snap.checksums))
                 for bid, bufs in snap.blocks.items():
+                    if bid in bad:
+                        continue
                     blocks.setdefault(bid, bufs)
         if step is not None and needed <= set(blocks):
             return epoch, step, blocks
@@ -456,11 +498,18 @@ class _SurvivableLoop:
 
     def _replicate_checkpoint(self, k: int) -> None:
         epoch = k // self.scfg.checkpoint_every
+        blocks = self.rt.snapshot_blocks()
+        digests = None
+        if self.scfg.integrity:
+            from repro.resilience.integrity import snapshot_checksums
+
+            digests = snapshot_checksums(blocks)
         snap = RankSnapshot(
             epoch=epoch,
             step=k,
             rank=self.comm.rank,
-            blocks=self.rt.snapshot_blocks(),
+            blocks=blocks,
+            checksums=digests,
         )
         self.store.put_own(snap)
         if self.comm.size > 1:

@@ -48,6 +48,9 @@ class BackendResult:
     #: Physics sentinel verdict of the producing run ("healthy" |
     #: "suspect" | "diverged"); None when physics sampling was off.
     physics_verdict: str | None = None
+    #: ABFT verdict of the producing run ("clean" | "corrected" |
+    #: "corrupted"); None when the integrity layer was off.
+    integrity_verdict: str | None = None
 
     @property
     def degraded(self) -> bool:
@@ -76,9 +79,19 @@ def _source_from_spec(spec: dict):
 class LocalBackend:
     """Runs the real mini-Kochi numerics under the resilience stack."""
 
-    def __init__(self, name: str = "local", platform: str = "squid-gpu"):
+    def __init__(
+        self,
+        name: str = "local",
+        platform: str = "squid-gpu",
+        integrity_every: int = 0,
+        scrub_every: int = 0,
+    ):
         self.name = name
         self.platform = platform
+        #: Step cadence of the ABFT integrity layer under every run
+        #: (0 = off); verdicts surface on each BackendResult.
+        self.integrity_every = integrity_every
+        self.scrub_every = scrub_every
         self.runs = 0
         self._mk = None
 
@@ -123,6 +136,8 @@ class LocalBackend:
             platform=self.platform,
             min_levels=min_levels,
             max_output_every=max_output_every,
+            integrity_every=self.integrity_every,
+            scrub_every=self.scrub_every,
         )
         model = report.model
         fidelity = Fidelity(
@@ -151,6 +166,7 @@ class LocalBackend:
             degradations=list(report.degradations),
             report=report,
             physics_verdict=report.physics_verdict,
+            integrity_verdict=report.integrity_verdict,
         )
 
 
@@ -176,12 +192,23 @@ class SimulatedBackend:
         diverge_fraction: float = 0.0,
         abort_budget_frac: float = 0.25,
         physics_verdicts: bool = True,
+        corrupt_fraction: float = 0.0,
+        corrupt_detect_fraction: float = 0.9,
     ) -> None:
         if not 0 <= noise < 1:
             raise ServiceError(f"noise must be in [0, 1), got {noise}")
         if not 0 <= diverge_fraction <= 1:
             raise ServiceError(
                 f"diverge_fraction must be in [0, 1], got {diverge_fraction}"
+            )
+        if not 0 <= corrupt_fraction <= 1:
+            raise ServiceError(
+                f"corrupt_fraction must be in [0, 1], got {corrupt_fraction}"
+            )
+        if not 0 <= corrupt_detect_fraction <= 1:
+            raise ServiceError(
+                "corrupt_detect_fraction must be in [0, 1], got "
+                f"{corrupt_detect_fraction}"
             )
         if not 0 < abort_budget_frac <= 1:
             raise ServiceError(
@@ -202,6 +229,13 @@ class SimulatedBackend:
         #: Attach physics verdicts to results (False = sampling off, as
         #: for a backend that never ran the in-situ engine).
         self.physics_verdicts = physics_verdicts
+        #: Deterministic per-scenario fraction of runs hit by a
+        #: simulated bit flip.  Of those, *corrupt_detect_fraction* are
+        #: caught-and-rolled-back by the simulated ABFT layer (verdict
+        #: ``corrected``); the rest escape as ``corrupted`` — the case
+        #: the integrity SLO must flag, never silently complete.
+        self.corrupt_fraction = corrupt_fraction
+        self.corrupt_detect_fraction = corrupt_detect_fraction
         self.runs = 0
         self.runs_by_key: dict[str, int] = {}
 
@@ -221,6 +255,24 @@ class SimulatedBackend:
         return self._scenario_u(scenario, salt="|diverge") < (
             self.diverge_fraction
         )
+
+    def _corruption(self, scenario: dict) -> str:
+        """Integrity verdict of this scenario's run, deterministically.
+
+        *corrupt_fraction* of runs take a simulated bit flip; of those,
+        *corrupt_detect_fraction* are caught by the simulated ABFT layer
+        and repaired by quarantine rollback (``corrected``), the rest
+        escape detection (``corrupted`` — the explicit verdict that
+        keeps the wrong answer from being silent).
+        """
+        if self.corrupt_fraction and self._scenario_u(
+            scenario, salt="|corrupt"
+        ) < self.corrupt_fraction:
+            caught = self._scenario_u(
+                scenario, salt="|corrupt-detect"
+            ) < self.corrupt_detect_fraction
+            return "corrected" if caught else "corrupted"
+        return "clean"
 
     def unloaded_payload(
         self, scenario: dict, fidelity: Fidelity = FULL_FIDELITY
@@ -299,11 +351,25 @@ class SimulatedBackend:
             budget = budget_s if budget_s is not None else cost
             cost = min(cost, self.abort_budget_frac * budget)
             degradations = list(degradations) + ["abort_early"]
+        integrity = self._corruption(scenario)
+        payload = self.unloaded_payload(scenario, fidelity)
+        if integrity == "corrected":
+            # One quarantine rollback's worth of replayed steps; the
+            # answer itself is the clean one.
+            cost *= 1.1
+        elif integrity == "corrupted":
+            # The flip escaped: the product really is a different (and
+            # wrong) answer, so the digest diverges from the unloaded
+            # reference — silent only if the verdict is ignored.
+            payload = dict(payload, digest=hashlib.sha256(
+                (payload["digest"] + "|flipped").encode("utf-8")
+            ).hexdigest())
         return BackendResult(
-            payload=self.unloaded_payload(scenario, fidelity),
+            payload=payload,
             fidelity=fidelity,
             cost_s=cost,
             backend=self.name,
             degradations=degradations,
             physics_verdict=verdict,
+            integrity_verdict=integrity,
         )

@@ -344,6 +344,12 @@ class ForecastService:
         verdict = getattr(result, "physics_verdict", None)
         if verdict is not None and self.slo.knows("validity"):
             self.slo.record("validity", now, verdict == "healthy")
+        # Same conditioning for the ABFT verdict: clean and corrected
+        # completions keep the no-silent-wrong-answer promise, corrupted
+        # ones burn it; runs without the integrity layer feed nothing.
+        integrity = getattr(result, "integrity_verdict", None)
+        if integrity is not None and self.slo.knows("integrity"):
+            self.slo.record("integrity", now, integrity != "corrupted")
 
     def _record_slo_loss(self, now: float) -> None:
         """One shed/failed admitted request: availability bad.  Latency
@@ -1046,20 +1052,35 @@ class ForecastService:
                 self._note(
                     "physics_verdict", ticket.request.request_id, verdict
                 )
+        integrity = getattr(result, "integrity_verdict", None)
+        if integrity is not None:
+            self._counter(
+                "repro_service_integrity_verdicts_total",
+                "completions by ABFT integrity verdict",
+                labels={"verdict": integrity},
+            ).inc()
+            if integrity != "clean":
+                self._note(
+                    "integrity_verdict", ticket.request.request_id,
+                    integrity,
+                )
         self._record_slo_completion(ticket, result, now)
         # A deadline breach — or a forecast the sentinel declared
-        # diverged — is a bad ending: dump the recorder so
-        # `repro inspect --request` can explain it.
+        # diverged, or one whose corruption went uncorrected — is a bad
+        # ending: dump the recorder so `repro inspect --request` can
+        # explain it.
         met = bool(ticket.deadline_met)
         diverged = verdict == "diverged"
+        corrupted = integrity == "corrupted"
         self.flight.settle(
             ticket.request.request_id,
             outcome=(
                 f"completed at fidelity {result.fidelity.tag}"
                 + ("" if met else " — DEADLINE MISSED")
                 + ("" if not diverged else " — PHYSICS DIVERGED")
+                + ("" if not corrupted else " — INTEGRITY CORRUPTED")
             ),
-            dump=(not met) or diverged,
+            dump=(not met) or diverged or corrupted,
         )
 
     # -- the event loop --------------------------------------------------

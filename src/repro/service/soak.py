@@ -72,6 +72,11 @@ class SoakConfig:
     #: simulated sentinel aborts those early (see
     #: :class:`~repro.service.backend.SimulatedBackend`).
     diverge_fraction: float = 0.0
+    #: Deterministic fraction of runs hit by a simulated bit flip; most
+    #: are caught and corrected, the rest complete with an explicit
+    #: ``corrupted`` verdict (never silently — that is the invariant
+    #: the injected nightly soak gates on).
+    corrupt_fraction: float = 0.0
 
 
 def synthetic_scenarios(rng: random.Random, n: int) -> list[dict]:
@@ -139,6 +144,8 @@ class SoakReport:
     #: Completions by physics verdict (empty when the backend attaches
     #: no verdicts).
     physics_verdicts: dict = field(default_factory=dict)
+    #: Completions by ABFT integrity verdict (clean/corrected/corrupted).
+    integrity_verdicts: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -182,6 +189,12 @@ class SoakReport:
                 f"{k}={v}" for k, v in sorted(self.physics_verdicts.items())
             )
             lines.append(f"  physics verdicts: {per}")
+        if self.integrity_verdicts:
+            per = ", ".join(
+                f"{k}={v}"
+                for k, v in sorted(self.integrity_verdicts.items())
+            )
+            lines.append(f"  integrity verdicts: {per}")
         if self.integrity_failures:
             lines.append(
                 f"  INTEGRITY FAILURES: {self.integrity_failures}"
@@ -232,6 +245,7 @@ def run_soak(
         backend = SimulatedBackend(
             noise=config.backend_noise,
             diverge_fraction=config.diverge_fraction,
+            corrupt_fraction=config.corrupt_fraction,
         )
     if service is None:
         if slo is None:
@@ -302,6 +316,8 @@ def run_soak(
     shed_by_class: dict[str, int] = {}
     verdict_counts: dict[str, int] = {}
     verdict_requests: list[dict] = []
+    iv_counts: dict[str, int] = {}
+    iv_requests: list[dict] = []
     degraded = 0
     completed = 0
     unloaded = getattr(backend, "unloaded_payload", None)
@@ -323,6 +339,16 @@ def run_soak(
                     "deadline_s": ticket.request.deadline_s,
                 }
             )
+        iverdict = getattr(ticket.result, "integrity_verdict", None)
+        if iverdict is not None:
+            iv_counts[iverdict] = iv_counts.get(iverdict, 0) + 1
+            if iverdict != "clean":
+                iv_requests.append(
+                    {
+                        "request_id": ticket.request.request_id,
+                        "verdict": iverdict,
+                    }
+                )
         if ticket.latency_s is not None:
             latencies.append(ticket.latency_s)
         if ticket.deadline_met is False:
@@ -335,9 +361,12 @@ def run_soak(
             degraded += 1
         elif unloaded is not None:
             # Full-fidelity results must be bitwise identical to an
-            # unloaded run of the same scenario.
+            # unloaded run of the same scenario — unless the run is
+            # *declared* corrupted, in which case the wrong answer is
+            # expected and flagged; a differing payload under a
+            # clean/corrected verdict is the silent-corruption failure.
             expect = unloaded(ticket.request.scenario)
-            if result.payload != expect:
+            if result.payload != expect and iverdict != "corrupted":
                 integrity.append(
                     f"{ticket.request.request_id}: payload differs "
                     "from unloaded run"
@@ -367,6 +396,7 @@ def run_soak(
         final_time_s=final_time,
         integrity_failures=integrity,
         physics_verdicts=verdict_counts,
+        integrity_verdicts=iv_counts,
     )
     reg = get_registry()
     reg.gauge(
@@ -416,6 +446,27 @@ def run_soak(
                     verdict=overall,
                     counts=verdict_counts,
                     requests=verdict_requests,
+                ),
+            )
+        if iv_counts:
+            from repro.resilience.integrity import (
+                INTEGRITY_NAME,
+                integrity_doc,
+                write_integrity_json,
+            )
+
+            if iv_counts.get("corrupted"):
+                soak_verdict = "corrupted"
+            elif iv_counts.get("corrected"):
+                soak_verdict = "corrected"
+            else:
+                soak_verdict = "clean"
+            write_integrity_json(
+                rundir / INTEGRITY_NAME,
+                integrity_doc(
+                    verdict=soak_verdict,
+                    counts=iv_counts,
+                    requests=iv_requests,
                 ),
             )
     return report

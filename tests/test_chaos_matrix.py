@@ -305,3 +305,148 @@ def test_crash_during_halo_exchange(seed):
 @pytest.mark.parametrize("seed", CKPT_CRASH_SEEDS)
 def test_crash_during_checkpoint_replication(seed):
     _phase_crash_scenario(seed, "ckpt")
+
+
+# -- SDC surface: silent bit flips (20 scenarios) --------------------------
+#
+# The integrity tentpole's acceptance gate: across 20+ seeded bit-flip
+# scenarios against state arrays, checkpoint buffers, and halo payloads,
+# every injected corruption is either *corrected* (bitwise-identical
+# final answer) or flagged with an explicit ``corrupted`` verdict —
+# never a silent completion with a wrong answer.
+
+SDC_FORECAST_SEEDS = list(range(400, 412))
+SDC_HALO_SEEDS = list(range(500, 508))
+
+_sdc_reference_cache: dict = {}
+
+
+def sdc_forecast_reference():
+    """Clean-run eta fields, integrity layer armed (seeded flips off)."""
+    if "forecast" not in _sdc_reference_cache:
+        report = run_resilient_forecast(
+            nested_grid(),
+            FlatBathymetry(50.0),
+            config=config(),
+            source=source(),
+            horizon_s=HORIZON_S,
+            integrity_every=1,
+            scrub_every=8,
+        )
+        _sdc_reference_cache["forecast"] = {
+            bid: st.eta_interior().copy()
+            for bid, st in report.model.states.items()
+        }
+    return _sdc_reference_cache["forecast"]
+
+
+@pytest.mark.parametrize("seed", SDC_FORECAST_SEEDS)
+def test_sdc_forecast_surface(seed):
+    from repro.resilience import INTEGRITY_VERDICTS
+
+    plan = FaultPlan.random(
+        seed,
+        kinds=("bitflip",),
+        n_faults=3,
+        n_ranks=1,
+        n_steps=int(HORIZON_S),
+        n_blocks=2,
+    )
+    report = run_resilient_forecast(
+        nested_grid(),
+        FlatBathymetry(50.0),
+        config=config(),
+        source=source(),
+        horizon_s=HORIZON_S,
+        fault_plan=plan,
+        integrity_every=1,
+        scrub_every=8,
+    )
+
+    # Invariant 1: a report with an adjudicated verdict, always.
+    assert report.status == "complete"
+    assert report.integrity_verdict in INTEGRITY_VERDICTS
+
+    # Invariant 2: every *triggered* state/checkpoint flip is seen.
+    hit = [
+        f for f in plan.triggered
+        if f.kind == "bitflip" and f.target in ("state", "checkpoint")
+    ]
+    if hit:
+        assert report.integrity_verdict != "clean", (
+            f"seed {seed}: {len(hit)} flip(s) fired but verdict is clean"
+        )
+
+    # Invariant 3: zero silent completions.  Unless the run *declared*
+    # itself corrupted, the answer must be bitwise the clean one.
+    if report.integrity_verdict != "corrupted":
+        ref = sdc_forecast_reference()
+        out = {
+            bid: st.eta_interior()
+            for bid, st in report.model.states.items()
+        }
+        for bid in ref:
+            assert np.array_equal(out[bid], ref[bid]), (
+                f"seed {seed}: block {bid} differs under verdict "
+                f"{report.integrity_verdict!r} — silent corruption"
+            )
+
+    # Invariant 4: corrections are attributable to injected flips.
+    corrections = report.integrity["corrections"]
+    if sum(corrections.values()) and not plan.triggered:
+        raise AssertionError(
+            f"seed {seed}: corrections {corrections} without a fault"
+        )
+
+
+@pytest.mark.parametrize("seed", SDC_HALO_SEEDS)
+def test_sdc_halo_surface(seed):
+    import random as _random
+
+    from repro.par.driver import run_distributed
+    from repro.resilience import FaultSpec, MessageIntegrity
+
+    rng = _random.Random(seed)
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                kind="bitflip",
+                target="halo",
+                rank=rng.randrange(2),
+                op=rng.randrange(0, 24),
+                bit=rng.randrange(0, 16),
+            )
+        ],
+        seed=seed,
+    )
+    integrity = MessageIntegrity(plan=plan)
+    grid = flat_grid()
+    decomp = equal_cell_assignment(grid, 2, split_blocks=False)
+    out = run_distributed(
+        grid,
+        FlatBathymetry(50.0),
+        config(),
+        decomp,
+        source(),
+        N_STEPS_DIST,
+        integrity=integrity,
+    )
+
+    # Invariant 1: the wire flip never reaches the physics — the CRC
+    # catches it and the retransmit copy restores the clean payload.
+    ref = reference_run()
+    assert out.keys() == ref.keys()
+    for bid in ref:
+        assert np.array_equal(out[bid], ref[bid]), (
+            f"seed {seed}: block {bid} diverged through a halo flip"
+        )
+
+    # Invariant 2: a triggered flip is detected + corrected, a clean
+    # run stays clean — no phantom detections.
+    if plan.triggered:
+        assert integrity.tracker.verdict == "corrected"
+        assert integrity.tracker.retransmits >= 1
+        assert integrity.tracker.detections.get("halo", 0) >= 1
+    else:
+        assert integrity.tracker.verdict == "clean"
+        assert integrity.tracker.retransmits == 0
